@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Device Exp_analysis Exp_common Exp_table1 Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Format List Micro Printexc Sys Timing Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Autotune Bechamel Benchmark Cost_model Device Exp_common Fisher Format Hashtbl Instance Loop_nest Measure Models Ops Poly Rng Staged Tensor Test Time Toolkit

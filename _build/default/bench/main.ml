@@ -1,0 +1,63 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sec 7) and runs Bechamel micro-benchmarks of the kernels.
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   Sections: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 analysis ablations micro
+   Default: all.  Set NPTE_MODE=full for paper-scale pool sizes. *)
+
+let ppf = Format.std_formatter
+
+(* Figure 5, Figure 7 and the analysis section consume the Figure 4 winners;
+   compute those once on demand. *)
+let fig4_data : Fig4.data option ref = ref None
+
+let get_fig4 mode =
+  match !fig4_data with
+  | Some d -> d
+  | None ->
+      let d = Fig4.compute mode in
+      fig4_data := Some d;
+      d
+
+let run_section mode name =
+  let t0 = Unix.gettimeofday () in
+  (try
+    match name with
+  | "table1" -> Exp_table1.run ppf
+  | "fig3" -> ignore (Fig3.run mode ppf)
+  | "fig4" ->
+      let d = get_fig4 mode in
+      Fig4.print ppf d
+  | "fig5" -> ignore (Fig5.run (get_fig4 mode) ppf)
+  | "fig6" -> ignore (Fig6.run mode ppf)
+  | "fig7" -> ignore (Fig7.run mode (get_fig4 mode) ppf)
+  | "fig8" -> ignore (Fig8.run mode ppf)
+  | "fig9" -> ignore (Fig9.run mode ppf)
+  | "analysis" -> ignore (Exp_analysis.run mode (get_fig4 mode) ppf)
+  | "ablations" -> ignore (Ablations.run mode ppf)
+    | "micro" -> Micro.run ppf
+    | other -> Format.fprintf ppf "unknown section %s@." other
+  with exn ->
+    (* A failing section must not take the rest of the harness down. *)
+    Format.fprintf ppf "@.[%s FAILED: %s]@." name (Printexc.to_string exn));
+  Format.fprintf ppf "@.[%s finished in %a]@." name Timing.pp_seconds
+    (Unix.gettimeofday () -. t0);
+  Format.pp_print_flush ppf ()
+
+let all_sections =
+  [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "analysis";
+    "ablations"; "micro" ]
+
+let () =
+  let mode = Exp_common.mode_of_env () in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let sections = if args = [] then all_sections else args in
+  Format.fprintf ppf
+    "NAS as Program Transformation Exploration - evaluation harness (%s mode)@."
+    (Exp_common.mode_name mode);
+  Format.fprintf ppf "Devices:@.";
+  List.iter (fun d -> Format.fprintf ppf "  %a@." Device.pp d) Device.all;
+  Format.pp_print_flush ppf ();
+  let t0 = Unix.gettimeofday () in
+  List.iter (run_section mode) sections;
+  Format.fprintf ppf "@.total: %a@." Timing.pp_seconds (Unix.gettimeofday () -. t0)

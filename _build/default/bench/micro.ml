@@ -1,0 +1,73 @@
+(* Bechamel micro-benchmarks of the performance-critical kernels: the
+   convolution forward/backward, one Fisher Potential pass, the analytic
+   cost model, the autotuner sweep and the loop-nest interpreter. *)
+
+open Bechamel
+open Toolkit
+
+let conv_test =
+  let rng = Rng.create 1 in
+  let input = Tensor.rand_normal rng [| 4; 16; 16; 16 |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal rng [| 16; 16; 3; 3 |] ~mean:0.0 ~std:0.1 in
+  Test.make ~name:"conv2d fwd 4x16x16x16 k3"
+    (Staged.stage (fun () ->
+         ignore (Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 1; groups = 1 })))
+
+let conv_bwd_test =
+  let rng = Rng.create 2 in
+  let input = Tensor.rand_normal rng [| 4; 16; 16; 16 |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal rng [| 16; 16; 3; 3 |] ~mean:0.0 ~std:0.1 in
+  let gout = Tensor.rand_normal rng [| 4; 16; 16; 16 |] ~mean:0.0 ~std:1.0 in
+  Test.make ~name:"conv2d bwd 4x16x16x16 k3"
+    (Staged.stage (fun () ->
+         ignore (Ops.conv2d_backward ~input ~weight ~gout { Ops.stride = 1; pad = 1; groups = 1 })))
+
+let fisher_test =
+  let rng = Rng.create 3 in
+  let model = Models.build (Models.resnet34 ()) rng in
+  let probe = Exp_common.probe_batch rng ~input_size:16 in
+  Test.make ~name:"fisher pass (resnet34, batch 4)"
+    (Staged.stage (fun () -> ignore (Fisher.potential model probe)))
+
+let cost_test =
+  let nest = Loop_nest.conv_nest_of_dims ~co:128 ~ci:128 ~oh:16 ~ow:16 ~k:3 ~stride:1 ~groups:1 in
+  let s = Autotune.default_schedule Device.i7 nest in
+  Test.make ~name:"cost model estimate"
+    (Staged.stage (fun () -> ignore (Cost_model.estimate Device.i7 nest s)))
+
+let tune_test =
+  let nest = Loop_nest.conv_nest_of_dims ~co:64 ~ci:64 ~oh:32 ~ow:32 ~k:3 ~stride:1 ~groups:1 in
+  Test.make ~name:"autotune sweep (27 configs)"
+    (Staged.stage (fun () -> ignore (Autotune.tune Device.i7 nest)))
+
+let interp_test =
+  let nest = Loop_nest.conv_nest_of_dims ~co:8 ~ci:8 ~oh:8 ~ow:8 ~k:3 ~stride:1 ~groups:1 in
+  let s = Poly.tile (Loop_nest.baseline_schedule nest) ~pos:2 ~factor:4 in
+  let prog = Loop_nest.lower nest s in
+  let rng = Rng.create 4 in
+  let weight = Tensor.rand_normal rng [| prog.Loop_nest.w_numel |] ~mean:0.0 ~std:0.1 in
+  let input = Tensor.rand_normal rng [| prog.in_numel |] ~mean:0.0 ~std:1.0 in
+  Test.make ~name:"loop-nest interpreter 8x8x8 k3"
+    (Staged.stage (fun () ->
+         let output = Tensor.zeros [| prog.Loop_nest.out_numel |] in
+         Loop_nest.run prog ~output ~weight ~input))
+
+let tests =
+  Test.make_grouped ~name:"kernels"
+    [ conv_test; conv_bwd_test; fisher_test; cost_test; tune_test; interp_test ]
+
+let run ppf =
+  Exp_common.section ppf "Micro-benchmarks (Bechamel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.fprintf ppf "%-40s %12.1f ns/run@." name est
+      | _ -> Format.fprintf ppf "%-40s (no estimate)@." name)
+    results

@@ -1,0 +1,179 @@
+(* nas_pte: command-line driver for the unified NAS/program-transformation
+   framework.
+
+     nas_pte devices              list the modelled platforms
+     nas_pte table1               print the transformation menu
+     nas_pte search [opts]        run the unified search on a network
+     nas_pte nas [opts]           run the BlockSwap NAS baseline
+     nas_pte layers [opts]        per-layer sequence exploration (fig 6 style)
+     nas_pte derive               show the spatial-bottleneck derivation
+     nas_pte bench SECTION...     run evaluation sections (as bench/main.exe) *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let network_names = [ "resnet18"; "resnet34"; "resnext29"; "densenet161"; "densenet169"; "densenet201" ]
+
+let config_of_name = function
+  | "resnet18" -> Models.resnet18 ()
+  | "resnet34" -> Models.resnet34 ()
+  | "resnext29" -> Models.resnext29 ()
+  | "densenet161" -> Models.densenet161 ()
+  | "densenet169" -> Models.densenet169 ()
+  | "densenet201" -> Models.densenet201 ()
+  | other -> invalid_arg ("unknown network " ^ other)
+
+let network_arg =
+  let doc = "Network to optimize: " ^ String.concat ", " network_names ^ "." in
+  Arg.(value & opt string "resnet34" & info [ "n"; "network" ] ~docv:"NET" ~doc)
+
+let device_arg =
+  let doc = "Target device: CPU, GPU, mCPU or mGPU." in
+  Arg.(value & opt string "CPU" & info [ "d"; "device" ] ~docv:"DEV" ~doc)
+
+let candidates_arg =
+  let doc = "Number of candidate configurations to explore." in
+  Arg.(value & opt int 200 & info [ "c"; "candidates" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let device_of_name name =
+  match Device.by_name name with
+  | Some d -> d
+  | None -> invalid_arg ("unknown device " ^ name ^ " (CPU, GPU, mCPU, mGPU)")
+
+let devices_cmd =
+  let run () =
+    List.iter (fun d -> Format.fprintf ppf "%-5s  %a@." d.Device.short_name Device.pp d) Device.all
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List the modelled platforms") Term.(const run $ const ())
+
+let table1_cmd =
+  let run () = Exp_table1.run ppf in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the unified transformation menu") Term.(const run $ const ())
+
+let search_cmd =
+  let run network device candidates seed =
+    let rng = Rng.create seed in
+    let model = Models.build (config_of_name network) rng in
+    let dev = device_of_name device in
+    let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
+    Format.fprintf ppf "unified search: %s on %s, %d candidates@." model.Models.name
+      dev.Device.dev_name candidates;
+    let r = Unified_search.search ~candidates ~rng:(Rng.split rng) ~device:dev ~probe model in
+    Format.fprintf ppf "baseline:  %a  (%d paper-scale conv params)@." Exp_common.pp_us
+      r.Unified_search.r_baseline.Pipeline.ev_latency_s
+      r.r_baseline.Pipeline.ev_params;
+    Format.fprintf ppf "best:      %a  (%.2fx speedup, %d params, %.2fx compression)@."
+      Exp_common.pp_us r.r_best.Unified_search.cd_latency_s (Unified_search.speedup r)
+      r.r_best.cd_params
+      (float_of_int r.r_baseline.Pipeline.ev_params /. float_of_int (max 1 r.r_best.cd_params));
+    Format.fprintf ppf "fisher:    %d of %d candidates rejected without training (%.0f%%)@."
+      r.r_rejected r.r_explored
+      (100.0 *. float_of_int r.r_rejected /. float_of_int r.r_explored);
+    Format.fprintf ppf "wall:      %a@." Timing.pp_seconds r.r_wall_s;
+    Format.fprintf ppf "@.winning per-site plans (transformed sites only):@.";
+    Array.iteri
+      (fun i (p : Site_plan.t) ->
+        if p.Site_plan.sp_name <> "baseline" then
+          Format.fprintf ppf "  %-18s %s@." model.Models.sites.(i).Conv_impl.site_label
+            p.Site_plan.sp_name)
+      r.r_best.cd_plans
+  in
+  Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
+    Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg)
+
+let nas_cmd =
+  let run network device candidates seed =
+    let rng = Rng.create seed in
+    let model = Models.build (config_of_name network) rng in
+    let dev = device_of_name device in
+    let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
+    let bs = Blockswap.search ~samples:candidates ~rng:(Rng.split rng) ~probe model in
+    let plans = Array.map (fun impl -> Site_plan.make impl) bs.Blockswap.bs_impls in
+    let ev = Pipeline.evaluate dev model ~plans in
+    let base = Pipeline.baseline dev model in
+    Format.fprintf ppf "BlockSwap NAS baseline: %s on %s@." model.Models.name dev.Device.dev_name;
+    Format.fprintf ppf "baseline %a -> NAS %a (%.2fx), params %d -> %d@."
+      Exp_common.pp_us base.Pipeline.ev_latency_s Exp_common.pp_us ev.Pipeline.ev_latency_s
+      (base.Pipeline.ev_latency_s /. ev.Pipeline.ev_latency_s)
+      base.Pipeline.ev_params ev.Pipeline.ev_params
+  in
+  Cmd.v (Cmd.info "nas" ~doc:"Run the BlockSwap NAS baseline")
+    Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg)
+
+let layers_cmd =
+  let run () = ignore (Fig6.run (Exp_common.mode_of_env ()) ppf) in
+  Cmd.v (Cmd.info "layers" ~doc:"Layer-wise sequence exploration (Figure 6)")
+    Term.(const run $ const ())
+
+let roofline_cmd =
+  let run device =
+    let dev = device_of_name device in
+    Format.fprintf ppf "roofline analysis on %a@.@." Device.pp dev;
+    let shapes =
+      [ ("64ch 32x32 k3 (dense)", 64, 64, 32, 3, 1);
+        ("64ch 32x32 k3 depthwise", 64, 64, 32, 3, 64);
+        ("256ch 8x8 k3 (late stage)", 256, 256, 8, 3, 1);
+        ("256ch 8x8 1x1", 256, 256, 8, 1, 1) ]
+    in
+    List.iter
+      (fun (name, co, ci, hw, k, groups) ->
+        let nest =
+          Loop_nest.conv_nest_of_dims ~co ~ci ~oh:hw ~ow:hw ~k ~stride:1 ~groups
+        in
+        let s, b = Autotune.tune dev nest in
+        Format.fprintf ppf "%-28s %a@.  %a@." name Exp_common.pp_us
+          b.Cost_model.total_s Roofline.pp (Roofline.analyze dev nest s))
+      shapes
+  in
+  Cmd.v (Cmd.info "roofline" ~doc:"Roofline analysis of representative convolutions")
+    Term.(const run $ device_arg)
+
+let derive_cmd =
+  let run () =
+    Format.fprintf ppf "Spatial bottleneck as a transformation chain (sec 5.3):@.";
+    let nest = Loop_nest.conv_nest_of_dims ~co:8 ~ci:8 ~oh:8 ~ow:8 ~k:3 ~stride:1 ~groups:1 in
+    Format.fprintf ppf "@.original:@.%a@." Loop_nest.pp
+      (Loop_nest.lower nest (Loop_nest.baseline_schedule nest));
+    match Sequences.schedules (Sequences.Spatial_bneck 2) nest with
+    | [ s ] ->
+        Format.fprintf ppf "@.after [int -> B(2) -> int -> B(2) -> int]:@.%a@."
+          Loop_nest.pp (Loop_nest.lower nest s);
+        Format.fprintf ppf "@.schedule:@.%a@." Poly.pp s
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "derive" ~doc:"Show the spatial-bottleneck derivation")
+    Term.(const run $ const ())
+
+let bench_cmd =
+  let sections =
+    Arg.(value & pos_all string [] & info [] ~docv:"SECTION")
+  in
+  let run sections =
+    let mode = Exp_common.mode_of_env () in
+    let fig4 = lazy (Fig4.compute mode) in
+    let run_one = function
+      | "table1" -> Exp_table1.run ppf
+      | "fig3" -> ignore (Fig3.run mode ppf)
+      | "fig4" -> Fig4.print ppf (Lazy.force fig4)
+      | "fig5" -> ignore (Fig5.run (Lazy.force fig4) ppf)
+      | "fig6" -> ignore (Fig6.run mode ppf)
+      | "fig7" -> ignore (Fig7.run mode (Lazy.force fig4) ppf)
+      | "fig8" -> ignore (Fig8.run mode ppf)
+      | "fig9" -> ignore (Fig9.run mode ppf)
+      | "analysis" -> ignore (Exp_analysis.run mode (Lazy.force fig4) ppf)
+      | "ablations" -> ignore (Ablations.run mode ppf)
+      | s -> Format.fprintf ppf "unknown section %s@." s
+    in
+    List.iter run_one (if sections = [] then [ "fig4" ] else sections)
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run evaluation sections") Term.(const run $ sections)
+
+let () =
+  let info = Cmd.info "nas_pte" ~doc:"Neural architecture search as program transformation exploration" in
+  let group = Cmd.group info [ devices_cmd; table1_cmd; search_cmd; nas_cmd; layers_cmd; derive_cmd; roofline_cmd; bench_cmd ] in
+  exit (Cmd.eval group)

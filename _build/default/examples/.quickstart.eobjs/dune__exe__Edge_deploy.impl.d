@@ -1,0 +1,1 @@
+examples/edge_deploy.ml: Array Device Exp_common Format Hashtbl Models Option Pipeline Rng Site_plan Unified_search

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Autotune Conv_impl Cost_model Device Exp_common Fisher Format List Loop_nest Models Poly Poly_legality Rng

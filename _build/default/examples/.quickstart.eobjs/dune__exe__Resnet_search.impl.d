@@ -1,0 +1,1 @@
+examples/resnet_search.ml: Array Blockswap Conv_impl Device Exp_common Format Graph Models Pipeline Rng Site_plan Timing Unified_search

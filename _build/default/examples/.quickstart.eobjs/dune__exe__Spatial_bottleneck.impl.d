@@ -1,0 +1,1 @@
+examples/spatial_bottleneck.ml: Array Conv_impl Exp_common Fisher Float Format Loop_nest Models Ops Poly Rng Tensor

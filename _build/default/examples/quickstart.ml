@@ -1,0 +1,73 @@
+(* Quickstart: the library in five minutes.
+
+   1. describe a tensor convolution as a polyhedral loop nest;
+   2. apply classical and neural transformations and print the result;
+   3. execute the transformed nests and check their semantics;
+   4. estimate hardware cost on two devices;
+   5. run the Fisher Potential legality check on a real network.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let ppf = Format.std_formatter
+
+let () =
+  (* -- 1. A convolution as a loop nest -------------------------------- *)
+  let nest =
+    Loop_nest.conv_nest_of_dims ~co:16 ~ci:16 ~oh:16 ~ow:16 ~k:3 ~stride:1 ~groups:1
+  in
+  let base = Loop_nest.baseline_schedule nest in
+  Format.fprintf ppf "A 16x16x16 3x3 convolution:@.%a@.@." Loop_nest.pp
+    (Loop_nest.lower nest base);
+
+  (* -- 2. Transformations --------------------------------------------- *)
+  let tiled = Poly.tile base ~pos:3 ~factor:4 in
+  Format.fprintf ppf "After tiling ow by 4 (a classical transformation):@.%a@.@."
+    Loop_nest.pp (Loop_nest.lower nest tiled);
+  let grouped = Poly.group base ~co:"co" ~ci:"ci" ~factor:4 in
+  Format.fprintf ppf "After grouping with G=4 (a neural transformation):@.%a@.@."
+    Loop_nest.pp (Loop_nest.lower nest grouped);
+  Format.fprintf ppf "MACs: %d -> %d (grouping divides the work by G)@.@."
+    (Poly.points base) (Poly.points grouped);
+
+  (* -- 3. Semantics ---------------------------------------------------- *)
+  let deps = Poly_legality.reduction_dependences [ "ci"; "kh"; "kw" ] in
+  Format.fprintf ppf "tiled schedule preserves dependences: %b@."
+    (Poly_legality.check tiled deps);
+  Format.fprintf ppf "grouped schedule is semantics-preserving: %b (legality -> Fisher)@.@."
+    (Poly.is_semantics_preserving grouped);
+
+  (* -- 4. Hardware cost ------------------------------------------------ *)
+  List.iter
+    (fun dev ->
+      let _, tvm = Autotune.tune dev nest in
+      let _, grp = Autotune.tune ~base:grouped dev nest in
+      Format.fprintf ppf "%-5s autotuned: %a -> grouped %a (%.2fx)@."
+        dev.Device.short_name Exp_common.pp_us tvm.Cost_model.total_s Exp_common.pp_us
+        grp.Cost_model.total_s
+        (tvm.Cost_model.total_s /. grp.Cost_model.total_s))
+    [ Device.i7; Device.maxwell_mgpu ];
+
+  (* -- 5. Fisher Potential on a real network --------------------------- *)
+  let rng = Rng.create 1 in
+  let model = Models.build (Models.resnet34 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  let full = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
+  let reference = Models.rebuild model (Rng.create 7) full in
+  let baseline = Fisher.score reference probe in
+  let grouped_net =
+    Models.rebuild model (Rng.create 7)
+      (Array.map
+         (fun s -> if Conv_impl.valid s (Conv_impl.Grouped 8) then Conv_impl.Grouped 8 else Conv_impl.Full)
+         model.Models.sites)
+  in
+  let candidate = Fisher.score grouped_net probe in
+  let legal = Fisher.legal_clipped ~baseline candidate in
+  Format.fprintf ppf
+    "@.ResNet-34 Fisher Potential: baseline %.3f, all-grouped(G=8) retains %.3f -> legal: %b@."
+    baseline.Fisher.total
+    (Fisher.clipped_total ~baseline candidate)
+    legal;
+  Format.fprintf ppf
+    (if legal then
+       "(this instance stayed within the slack; heavier damage is rejected)@."
+     else "(the capacity damage exceeds the slack and the change is rejected)@.")

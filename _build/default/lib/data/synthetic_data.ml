@@ -1,0 +1,62 @@
+type t = {
+  images : Tensor.t array;
+  labels : int array;
+  classes : int;
+  size : int;
+}
+
+(* A smooth template: coarse Gaussian noise upsampled to full resolution so
+   that class evidence has spatial structure a convolution can exploit. *)
+let template rng ~size =
+  let coarse_size = max 2 (size / 4) in
+  let coarse = Tensor.rand_normal rng [| 3; coarse_size; coarse_size |] ~mean:0.0 ~std:1.0 in
+  Tensor.init [| 3; size; size |] (fun idx ->
+      let c = idx.(0) and h = idx.(1) and w = idx.(2) in
+      let ch = min (coarse_size - 1) (h * coarse_size / size) in
+      let cw = min (coarse_size - 1) (w * coarse_size / size) in
+      Tensor.get coarse [| c; ch; cw |])
+
+let make rng ~classes ~size ~n ?(signal = 1.0) ?(noise = 0.6) () =
+  let templates = Array.init classes (fun _ -> template rng ~size) in
+  let labels = Array.init n (fun i -> i mod classes) in
+  let images =
+    Array.map
+      (fun label ->
+        let base = templates.(label) in
+        Tensor.init [| 3; size; size |] (fun idx ->
+            (signal *. Tensor.get base idx) +. Rng.gauss_scaled rng ~mean:0.0 ~std:noise))
+      labels
+  in
+  (* Shuffle example order so batches mix classes. *)
+  let order = Rng.permutation rng n in
+  { images = Array.map (fun i -> images.(i)) order;
+    labels = Array.map (fun i -> labels.(i)) order;
+    classes;
+    size }
+
+let cifar_like rng ~n = make rng ~classes:10 ~size:16 ~n ()
+let cifar_like_small rng ~n = make rng ~classes:10 ~size:8 ~n ()
+let imagenet_like rng ~n = make rng ~classes:20 ~size:32 ~n ()
+
+let stack t indices =
+  let k = Array.length indices in
+  let size = t.size in
+  let images = Tensor.zeros [| k; 3; size; size |] in
+  let plane = 3 * size * size in
+  Array.iteri
+    (fun bi i ->
+      Array.blit (Tensor.data t.images.(i)) 0 (Tensor.data images) (bi * plane) plane)
+    indices;
+  { Train.images; labels = Array.map (fun i -> t.labels.(i)) indices }
+
+let batches t ~batch_size =
+  let n = Array.length t.images / batch_size in
+  List.init n (fun b -> stack t (Array.init batch_size (fun i -> (b * batch_size) + i)))
+
+let batch_fn rng t ~batch_size _step =
+  let n = Array.length t.images in
+  stack t (Array.init batch_size (fun _ -> Rng.int rng n))
+
+let fixed_batch rng t ~batch_size =
+  let n = Array.length t.images in
+  stack t (Array.init batch_size (fun _ -> Rng.int rng n))

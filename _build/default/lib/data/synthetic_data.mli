@@ -1,0 +1,41 @@
+(** Synthetic, class-structured image data.
+
+    The container has no CIFAR-10/ImageNet files, so the experiments train on
+    generated data designed to preserve the two properties every figure
+    relies on: networks can be trained to separate the classes, and damaging
+    a network's representational capacity measurably hurts its accuracy.
+
+    Each class [c] owns a smooth random template image; a sample is
+    [signal * template_c + noise * N(0,1)], so class information is spread
+    across all channels and spatial positions (as in natural images) and the
+    task difficulty is controlled by the signal-to-noise ratio. *)
+
+type t = {
+  images : Tensor.t array;  (** each [3; size; size] *)
+  labels : int array;
+  classes : int;
+  size : int;
+}
+
+val make :
+  Rng.t -> classes:int -> size:int -> n:int -> ?signal:float -> ?noise:float ->
+  unit -> t
+(** Generates [n] labelled images. *)
+
+val cifar_like : Rng.t -> n:int -> t
+(** 10 classes, 16x16 (the search-scale input). *)
+
+val cifar_like_small : Rng.t -> n:int -> t
+(** 10 classes, 8x8 (the train-scale input). *)
+
+val imagenet_like : Rng.t -> n:int -> t
+(** 20 classes, 32x32. *)
+
+val batches : t -> batch_size:int -> Train.batch list
+(** Splits the dataset into consecutive batches (drops the ragged tail). *)
+
+val batch_fn : Rng.t -> t -> batch_size:int -> int -> Train.batch
+(** Step-indexed random minibatch sampler for training loops. *)
+
+val fixed_batch : Rng.t -> t -> batch_size:int -> Train.batch
+(** One deterministic minibatch — the Fisher Potential probe batch. *)

@@ -1,0 +1,1 @@
+lib/experiments/csv_out.ml: Buffer Filename List Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/experiments/exp_analysis.ml: Array Conv_impl Device Exp_common Fig4 Format List Models Rng Site_plan String Synthetic_data Timing Train

@@ -1,0 +1,1 @@
+lib/experiments/exp_analysis.mli: Exp_common Fig4 Format

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Format Models String Synthetic_data Sys

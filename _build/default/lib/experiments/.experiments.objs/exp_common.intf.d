@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Format Models Rng Synthetic_data Train

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Csv_out Exp_common Format List Nasbench Rng Stats Synthetic_data

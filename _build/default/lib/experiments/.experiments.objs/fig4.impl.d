@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Blockswap Conv_impl Csv_out Device Exp_common Format List Models Pipeline Rng Site_plan Stats Unified_search

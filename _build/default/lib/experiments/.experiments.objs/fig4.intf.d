@@ -1,0 +1,1 @@
+lib/experiments/fig4.mli: Conv_impl Device Exp_common Format Site_plan

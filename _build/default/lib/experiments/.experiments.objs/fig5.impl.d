@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Csv_out Exp_common Fig4 Format List Site_plan String

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Conv_impl Csv_out Device Exp_common Fisher Format List Models Pipeline Printf Rng Sequences

@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Conv_impl Exp_common Format

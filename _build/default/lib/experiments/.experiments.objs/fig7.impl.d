@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Csv_out Device Exp_common Fbnet Fig4 Format List Models Rng String

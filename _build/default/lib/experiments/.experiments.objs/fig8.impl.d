@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Csv_out Device Exp_common Float Format List Models Pipeline Rng Site_plan Synthetic_data Train Unified_search

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Csv_out Device Exp_common Format Interpolate List Models Rng

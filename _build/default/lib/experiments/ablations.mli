@@ -1,0 +1,45 @@
+(** Ablation benches for the design decisions called out in DESIGN.md.
+
+    1. {b Fisher filtering}: run the search without the legality check and
+       measure how many cost-best configurations are capacity-damaging, and
+       what the train-to-check alternative would cost.
+    2. {b Analytic vs trace-driven memory model}: compare the cost model's
+       DRAM-traffic prediction against the cache simulator's measured miss
+       bytes on small nests, reporting rank agreement.
+    3. {b Interleaving}: restrict the search space to the NAS-only menu
+       (no interleaved sequences, no schedule hints) and compare the best
+       latency against the full unified space. *)
+
+type fisher_ablation = {
+  fa_candidates : int;
+  fa_best_cost_illegal : bool;
+      (** is the cost-only winner rejected by the Fisher check? *)
+  fa_illegal_in_top10 : int;
+  fa_pool_illegal_frac : float;
+      (** fraction of the random pool rejected by the Fisher check *)
+  fa_fisher_wall_s : float;  (** time to Fisher-check the pool *)
+  fa_train_wall_estimate_s : float;
+      (** estimated time to train-check the pool instead *)
+}
+
+type cache_validation = {
+  cv_schedules : int;
+  cv_pearson : float;  (** correlation between predicted and simulated bytes *)
+  cv_order_agreement : float;
+      (** fraction of schedule pairs ranked identically *)
+}
+
+type interleave_ablation = {
+  ia_nas_only_speedup : float;
+  ia_unified_speedup : float;
+}
+
+type data = {
+  fisher : fisher_ablation;
+  cache : cache_validation;
+  interleave : interleave_ablation;
+}
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

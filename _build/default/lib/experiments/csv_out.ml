@@ -1,0 +1,30 @@
+let results_dir = ref "results"
+
+let escape field =
+  let needs_quotes =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if not needs_quotes then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let write ~name ~header rows =
+  if not (Sys.file_exists !results_dir) then Unix.mkdir !results_dir 0o755;
+  let path = Filename.concat !results_dir (name ^ ".csv") in
+  let oc = open_out path in
+  let emit cells = output_string oc (String.concat "," (List.map escape cells) ^ "\n") in
+  emit header;
+  List.iter emit rows;
+  close_out oc;
+  path
+
+let float_cell f = Printf.sprintf "%.9g" f
+let int_cell = string_of_int

@@ -1,0 +1,15 @@
+(** CSV export of experiment data.
+
+    Every figure's [run] writes its rows under [results/] (created on
+    demand) so the numbers can be re-plotted outside the harness.  Fields
+    are escaped per RFC 4180. *)
+
+val results_dir : string ref
+(** Output directory; default ["results"]. *)
+
+val write : name:string -> header:string list -> string list list -> string
+(** [write ~name ~header rows] writes [results/<name>.csv] and returns the
+    path. *)
+
+val float_cell : float -> string
+val int_cell : int -> string

@@ -1,0 +1,111 @@
+type accuracy_row = {
+  network : string;
+  orig_acc : float;
+  ours_acc : float;
+}
+
+type data = {
+  accuracy : accuracy_row list;
+  size : (string * int * int) list;
+  search : (string * int * int * float) list;
+}
+
+(* Implementations chosen at search scale may be spatially invalid at the
+   smaller training scale; fall back to Full there. *)
+let sanitize model impls =
+  Array.mapi
+    (fun i site ->
+      if Conv_impl.valid site impls.(i) then impls.(i) else Conv_impl.Full)
+    model.Models.sites
+
+let compute mode (fig4 : Fig4.data) =
+  let cpu_rows =
+    List.filter (fun r -> r.Fig4.device.Device.short_name = "CPU") fig4.Fig4.rows
+  in
+  let steps = Exp_common.train_steps mode in
+  let accuracy =
+    List.map
+      (fun (r : Fig4.row) ->
+        let rng = Rng.create (Exp_common.master_seed + 100 + String.length r.network) in
+        let config =
+          List.find
+            (fun c -> Models.config_name c = r.Fig4.network)
+            (List.map
+               (fun c ->
+                 (* train-scale twins of the Figure-4 networks *)
+                 match Models.config_name c with
+                 | "resnet34" -> Models.resnet34 ~scale:`Train ()
+                 | "resnext29" -> Models.resnext29 ~scale:`Train ()
+                 | _ -> Models.densenet161 ~scale:`Train ())
+               (Exp_common.cifar_configs ()))
+        in
+        let model = Models.build config rng in
+        let data =
+          Exp_common.train_data (Rng.split rng) ~input_size:model.Models.input_size
+            ~classes:10
+        in
+        let train_and_eval m =
+          let batch_rng = Rng.split rng in
+          let _ =
+            Train.train m ~steps
+              ~batch_fn:(fun step ->
+                Synthetic_data.batch_fn batch_rng data ~batch_size:16 step)
+              ~base_lr:0.05
+          in
+          Train.evaluate m
+            (List.filteri (fun i _ -> i < 4) (Synthetic_data.batches data ~batch_size:16))
+        in
+        let orig_acc = train_and_eval model in
+        let impls =
+          sanitize model
+            (Array.map (fun p -> p.Site_plan.sp_impl) r.Fig4.ours_plans)
+        in
+        let ours = Models.rebuild model (Rng.split rng) impls in
+        let ours_acc = train_and_eval ours in
+        { network = r.network; orig_acc; ours_acc })
+      cpu_rows
+  in
+  let size =
+    List.map
+      (fun (r : Fig4.row) -> (r.Fig4.network, r.baseline_params, r.ours_params))
+      cpu_rows
+  in
+  let search =
+    List.map
+      (fun (r : Fig4.row) ->
+        (r.Fig4.network, r.explored, r.fisher_rejected, r.search_wall_s))
+      cpu_rows
+  in
+  { accuracy; size; search }
+
+let print ppf d =
+  Exp_common.section ppf "Analysis (sec 7.2): accuracy, size, search time";
+  Format.fprintf ppf "Accuracy (same training budget):@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-14s original %5.1f%%  ours %5.1f%%  delta %+5.1f%%@."
+        r.network (100.0 *. r.orig_acc) (100.0 *. r.ours_acc)
+        (100.0 *. (r.ours_acc -. r.orig_acc)))
+    d.accuracy;
+  Format.fprintf ppf "@.Size (paper-scale convolution weights):@.";
+  List.iter
+    (fun (network, baseline, ours) ->
+      Format.fprintf ppf "  %-14s %8.2fM -> %8.2fM  (%.2fx compression)@." network
+        (float_of_int baseline /. 1e6)
+        (float_of_int ours /. 1e6)
+        (float_of_int baseline /. float_of_int (max 1 ours)))
+    d.size;
+  Format.fprintf ppf "@.Search time (Fisher Potential legality check, no training):@.";
+  List.iter
+    (fun (network, explored, rejected, wall) ->
+      Format.fprintf ppf
+        "  %-14s %4d configurations, %3.0f%% rejected for free, %a wall@." network
+        explored
+        (100.0 *. float_of_int rejected /. float_of_int explored)
+        Timing.pp_seconds wall)
+    d.search
+
+let run mode fig4 ppf =
+  let d = compute mode fig4 in
+  print ppf d;
+  d

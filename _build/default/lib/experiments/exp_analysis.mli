@@ -1,0 +1,26 @@
+(** §7.2 Analysis: accuracy, size and search-time accounting.
+
+    - Accuracy: each CIFAR network and its Figure-4 winner are trained under
+      the same budget; absolute accuracy deltas should be small (<1% in the
+      paper).
+    - Size: paper-scale parameter compression of the winners (2-3x in the
+      paper; ImageNet ResNet-34 22M -> 9M).
+    - Search time: configurations explored, fraction rejected for free by
+      the Fisher check (~90%), and wall-clock search time (<5 min). *)
+
+type accuracy_row = {
+  network : string;
+  orig_acc : float;
+  ours_acc : float;
+}
+
+type data = {
+  accuracy : accuracy_row list;
+  size : (string * int * int) list;  (** network, baseline params, ours params *)
+  search : (string * int * int * float) list;
+      (** network, explored, rejected, wall seconds (CPU rows) *)
+}
+
+val compute : Exp_common.mode -> Fig4.data -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Fig4.data -> Format.formatter -> data

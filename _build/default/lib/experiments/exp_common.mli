@@ -1,0 +1,42 @@
+(** Shared setup for the experiment harnesses.
+
+    Every experiment is deterministic given its seed and runs in one of two
+    modes: [Quick] (the default for `dune exec bench/main.exe`; smaller
+    candidate pools and training budgets) and [Full] (paper-scale pool
+    sizes: 1000 configurations, more cells, longer training).  Set
+    [NPTE_MODE=full] to select [Full]. *)
+
+type mode = Quick | Full
+
+val mode_of_env : unit -> mode
+val mode_name : mode -> string
+
+val candidates : mode -> int
+(** Unified-search pool size (1000 in Full, as in §6). *)
+
+val blockswap_samples : mode -> int
+val nasbench_cells : mode -> int
+val train_steps : mode -> int
+val seeds : mode -> int
+val fbnet_rounds : mode -> int
+val fbnet_population : mode -> int
+
+val master_seed : int
+
+val cifar_configs : unit -> Models.config list
+(** The three CIFAR-10 networks of Figure 4 (search scale). *)
+
+val probe_batch : Rng.t -> input_size:int -> Train.batch
+(** The fixed Fisher probe minibatch for a given input size (one per
+    experiment, deterministic). *)
+
+val train_data : Rng.t -> input_size:int -> classes:int -> Synthetic_data.t
+
+val section : Format.formatter -> string -> unit
+(** Prints a figure/table banner. *)
+
+val pp_us : Format.formatter -> float -> unit
+(** Latency in convenient units. *)
+
+val bar : float -> string
+(** A crude textual bar for relative-performance "plots". *)

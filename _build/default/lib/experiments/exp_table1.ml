@@ -1,0 +1,11 @@
+let run ppf =
+  Exp_common.section ppf "Table 1: autotuning primitives of the unified space";
+  Table1.pp_table ppf ();
+  Format.fprintf ppf "@.Demonstrations (8x8x8 conv, k=3):@.";
+  List.iter
+    (fun row ->
+      match Table1.demonstrate row with
+      | None -> ()
+      | Some text ->
+          Format.fprintf ppf "@.-- %s --@.%s@." row.Table1.opt_name text)
+    Table1.rows

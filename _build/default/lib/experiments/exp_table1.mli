@@ -1,0 +1,4 @@
+(** Table 1: the unified transformation menu, with a rendered loop-nest
+    demonstration of each primitive. *)
+
+val run : Format.formatter -> unit

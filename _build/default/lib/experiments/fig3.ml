@@ -1,0 +1,87 @@
+type data = {
+  records : Nasbench.record list;
+  spearman_fisher_error : float;
+  rejected_fraction : float;
+  rejected_mean_error : float;
+  kept_mean_error : float;
+}
+
+let compute mode =
+  let rng = Rng.create (Exp_common.master_seed + 3) in
+  let data = Synthetic_data.cifar_like_small rng ~n:256 in
+  let probe = Synthetic_data.fixed_batch rng data ~batch_size:4 in
+  let n = Exp_common.nasbench_cells mode in
+  let train_steps = match mode with Exp_common.Quick -> 60 | Exp_common.Full -> 150 in
+  let records = Nasbench.sample_space ~train_steps ~rng ~data ~probe ~n () in
+  let fishers = Array.of_list (List.map (fun r -> r.Nasbench.r_fisher) records) in
+  let errors = Array.of_list (List.map (fun r -> r.Nasbench.r_error) records) in
+  let spearman = Stats.spearman fishers errors in
+  (* The paper rejects candidates scoring below the original; as a space-
+     level summary we split at the median Fisher Potential. *)
+  let threshold = Stats.median fishers in
+  let rejected, kept =
+    List.partition (fun r -> r.Nasbench.r_fisher < threshold) records
+  in
+  let mean_error rs =
+    Stats.mean (Array.of_list (List.map (fun r -> r.Nasbench.r_error) rs))
+  in
+  { records;
+    spearman_fisher_error = spearman;
+    rejected_fraction = float_of_int (List.length rejected) /. float_of_int (List.length records);
+    rejected_mean_error = mean_error rejected;
+    kept_mean_error = mean_error kept }
+
+let print ppf d =
+  Exp_common.section ppf
+    "Figure 3: Fisher Potential filters the NAS-Bench-201 cell space";
+  Format.fprintf ppf "cells evaluated: %d (of %d in the space)@."
+    (List.length d.records) Nasbench.space_size;
+  (* Scatter rendered as a binned table: Fisher quintile vs mean error. *)
+  let records = Array.of_list d.records in
+  let fishers = Array.map (fun r -> r.Nasbench.r_fisher) records in
+  let sorted = Array.copy fishers in
+  Array.sort compare sorted;
+  let quintile f =
+    let n = Array.length sorted in
+    let rec rank i = if i >= n || sorted.(i) >= f then i else rank (i + 1) in
+    min 4 (5 * rank 0 / n)
+  in
+  let sums = Array.make 5 0.0 and counts = Array.make 5 0 in
+  Array.iter
+    (fun r ->
+      let q = quintile r.Nasbench.r_fisher in
+      sums.(q) <- sums.(q) +. r.Nasbench.r_error;
+      counts.(q) <- counts.(q) + 1)
+    records;
+  Format.fprintf ppf "@.%-28s %-10s %s@." "Fisher-Potential quintile" "cells"
+    "mean top-1 error";
+  Array.iteri
+    (fun q s ->
+      if counts.(q) > 0 then
+        Format.fprintf ppf "Q%d (%s)%-18s %-10d %.3f@." (q + 1)
+          (if q = 0 then "lowest" else if q = 4 then "highest" else "mid")
+          "" counts.(q)
+          (s /. float_of_int counts.(q)))
+    sums;
+  Format.fprintf ppf
+    "@.Spearman rank correlation (Fisher vs error): %+.3f (paper: strongly negative)@."
+    d.spearman_fisher_error;
+  Format.fprintf ppf
+    "Rejecting below-median Fisher discards %.0f%% of cells: mean error %.3f (rejected) vs %.3f (kept)@."
+    (100.0 *. d.rejected_fraction)
+    d.rejected_mean_error d.kept_mean_error
+
+let to_csv d =
+  Csv_out.write ~name:"fig3_cells"
+    ~header:[ "cell_index"; "fisher_potential"; "top1_error"; "params" ]
+    (List.map
+       (fun (r : Nasbench.record) ->
+         [ Csv_out.int_cell r.Nasbench.r_index; Csv_out.float_cell r.r_fisher;
+           Csv_out.float_cell r.r_error; Csv_out.int_cell r.r_params ])
+       d.records)
+
+let run mode ppf =
+  let d = compute mode in
+  print ppf d;
+  ignore (to_csv d);
+  d

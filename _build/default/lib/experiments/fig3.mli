@@ -1,0 +1,22 @@
+(** Figure 3: Fisher Potential as a rejection filter over the
+    NAS-Bench-201-like cell space.
+
+    Samples cells, computes their Fisher Potential at initialization and
+    their top-1 error after budgeted training, and reports the scatter plus
+    the filtering statistics the figure illustrates: low-Fisher cells have
+    high final error, so rejecting them discards bad architectures without
+    any training. *)
+
+type data = {
+  records : Nasbench.record list;
+  spearman_fisher_error : float;
+      (** rank correlation between Fisher Potential and final error
+          (negative: higher potential, lower error) *)
+  rejected_fraction : float;  (** cells below the median-Fisher threshold *)
+  rejected_mean_error : float;
+  kept_mean_error : float;
+}
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

@@ -1,0 +1,29 @@
+(** Figure 4: end-to-end CIFAR-10 performance of the three networks on the
+    four platforms, comparing TVM (autotuned default schedules), NAS
+    (BlockSwap-compressed then compiled) and Ours (the unified search). *)
+
+type row = {
+  network : string;
+  device : Device.t;
+  tvm_s : float;
+  nas_s : float;
+  ours_s : float;
+  ours_plans : Site_plan.t array;
+  ours_params : int;
+  baseline_params : int;
+  fisher_rejected : int;
+  explored : int;
+  search_wall_s : float;
+}
+
+type data = {
+  rows : row list;
+  nas_impls : (string * Conv_impl.t array) list;  (** per network *)
+}
+
+val nas_speedup : row -> float
+val ours_speedup : row -> float
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

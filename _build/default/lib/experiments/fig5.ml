@@ -1,0 +1,74 @@
+type row = {
+  network : string;
+  seq1 : int;
+  seq2 : int;
+  seq3 : int;
+  other : int;
+  untouched : int;
+}
+
+type data = { rows : row list }
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let compute (fig4 : Fig4.data) =
+  let networks =
+    List.sort_uniq compare (List.map (fun r -> r.Fig4.network) fig4.Fig4.rows)
+  in
+  let rows =
+    List.map
+      (fun network ->
+        let mine = List.filter (fun r -> r.Fig4.network = network) fig4.Fig4.rows in
+        let counts = Array.make 5 0 in
+        List.iter
+          (fun r ->
+            Array.iter
+              (fun (p : Site_plan.t) ->
+                let name = p.Site_plan.sp_name in
+                let k =
+                  if has_prefix "seq1" name then 0
+                  else if has_prefix "seq2" name then 1
+                  else if has_prefix "seq3" name then 2
+                  else if name = "baseline" then 4
+                  else 3
+                in
+                counts.(k) <- counts.(k) + 1)
+              r.Fig4.ours_plans)
+          mine;
+        { network;
+          seq1 = counts.(0);
+          seq2 = counts.(1);
+          seq3 = counts.(2);
+          other = counts.(3);
+          untouched = counts.(4) })
+      networks
+  in
+  { rows }
+
+let print ppf d =
+  Exp_common.section ppf
+    "Figure 5: frequency of the dominant sequences in the best networks";
+  Format.fprintf ppf "%-14s %6s %6s %6s %6s %10s@." "network" "seq1" "seq2" "seq3"
+    "other" "untouched";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %6d %6d %6d %6d %10d@." r.network r.seq1 r.seq2
+        r.seq3 r.other r.untouched)
+    d.rows
+
+let to_csv d =
+  Csv_out.write ~name:"fig5_sequence_frequency"
+    ~header:[ "network"; "seq1"; "seq2"; "seq3"; "other"; "untouched" ]
+    (List.map
+       (fun r ->
+         [ r.network; Csv_out.int_cell r.seq1; Csv_out.int_cell r.seq2;
+           Csv_out.int_cell r.seq3; Csv_out.int_cell r.other;
+           Csv_out.int_cell r.untouched ])
+       d.rows)
+
+let run fig4 ppf =
+  let d = compute fig4 in
+  print ppf d;
+  ignore (to_csv d);
+  d

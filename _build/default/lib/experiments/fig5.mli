@@ -1,0 +1,18 @@
+(** Figure 5: how often each of the three dominant §7.3 sequences appears in
+    the best networks found by the unified search (counted over the
+    Figure 4 winners, across all platforms). *)
+
+type row = {
+  network : string;
+  seq1 : int;
+  seq2 : int;
+  seq3 : int;
+  other : int;  (** plain group/bottleneck/depthwise/spatial sites *)
+  untouched : int;
+}
+
+type data = { rows : row list }
+
+val compute : Fig4.data -> data
+val print : Format.formatter -> data -> unit
+val run : Fig4.data -> Format.formatter -> data

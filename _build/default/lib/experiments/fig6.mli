@@ -1,0 +1,27 @@
+(** Figure 6: layer-wise exploration of transformation sequences for
+    ResNet-34 on the Intel i7.
+
+    The network's distinct convolution shapes ("layers", 11 for the
+    ImageNet-style ResNet-34, matching the TVM paper's per-layer
+    experiment) are each optimized with: plain NAS grouping (g=2) and the
+    three §7.3 sequences.  Layers whose Fisher Potential collapses under
+    compression are marked sensitive and receive no neural transformation
+    (4 of the 11 in the paper). *)
+
+type layer = {
+  index : int;
+  label : string;
+  shape : Conv_impl.workload;  (** paper-scale dims *)
+  tvm_s : float;
+  nas_s : float option;  (** None when the layer is Fisher-sensitive *)
+  seq1_s : float option;
+  seq2_s : float option;
+  seq3_s : float option;
+  sensitive : bool;
+}
+
+type data = { layers : layer list }
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

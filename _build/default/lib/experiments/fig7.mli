@@ -1,0 +1,22 @@
+(** Figure 7: comparison against FBNet on the Intel i7.
+
+    FBNet selects blocks from the same menu as the NAS baseline but trains
+    while searching; it improves over BlockSwap at a simulated cost of ~3
+    GPU-days per network, and the unified approach beats it with no
+    training at all. *)
+
+type row = {
+  network : string;
+  tvm_s : float;
+  nas_s : float;
+  fbnet_s : float;
+  ours_s : float;
+  fbnet_gpu_days : float;
+  fbnet_trainings : int;
+}
+
+type data = { rows : row list }
+
+val compute : Exp_common.mode -> Fig4.data -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Fig4.data -> Format.formatter -> data

@@ -1,0 +1,19 @@
+(** Figure 8: accuracy vs inference time on the ImageNet-like dataset for
+    ResNet-18/34 and DenseNet-161/169/201 — the original network compiled
+    with TVM against the unified approach's transformed network.  Both
+    members of each pair are trained under the same budget; inference time
+    is the i7 cost-model latency at paper-scale dimensions. *)
+
+type row = {
+  network : string;
+  orig_s : float;
+  ours_s : float;
+  orig_acc : float;
+  ours_acc : float;
+}
+
+type data = { rows : row list }
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

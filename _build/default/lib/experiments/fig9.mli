@@ -1,0 +1,10 @@
+(** Figure 9: interpolating between two NAS models (grouped g=2 and g=4
+    ResNet-34 variants) with parametrized transformation chains; each point
+    is trained several times (mean with error bars) and Pareto-optimal
+    points are flagged. *)
+
+type data = { points : Interpolate.point list }
+
+val compute : Exp_common.mode -> data
+val print : Format.formatter -> data -> unit
+val run : Exp_common.mode -> Format.formatter -> data

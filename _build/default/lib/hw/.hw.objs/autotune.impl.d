@@ -1,0 +1,1 @@
+lib/hw/autotune.ml: Array Cost_model Device List Loop_nest Poly

@@ -1,0 +1,1 @@
+lib/hw/autotune.mli: Cost_model Device Loop_nest Poly

@@ -1,0 +1,1 @@
+lib/hw/cache_sim.ml: Array Device Loop_nest

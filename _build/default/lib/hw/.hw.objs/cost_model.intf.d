@@ -1,0 +1,1 @@
+lib/hw/cost_model.mli: Device Loop_nest Poly

@@ -1,0 +1,1 @@
+lib/hw/roofline.ml: Cost_model Device Float Format Poly

@@ -1,0 +1,1 @@
+lib/hw/roofline.mli: Device Format Loop_nest Poly

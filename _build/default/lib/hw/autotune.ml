@@ -1,0 +1,230 @@
+type hints = {
+  h_unroll_co : int option;
+  h_spatial_split : int option;
+}
+
+let no_hints = { h_unroll_co = None; h_spatial_split = None }
+
+(* Index of the first loop (with extent > 1) whose digits contribute to
+   [iter]. *)
+let find_loop (s : Poly.t) iter =
+  let found = ref None in
+  List.iteri
+    (fun li (l : Poly.loop) ->
+      if !found = None && Poly.loop_extent l > 1 then
+        if
+          List.exists
+            (fun (d : Poly.digit) ->
+              List.exists (fun (c : Poly.contrib) -> c.Poly.src = iter) d.Poly.contribs)
+            l.Poly.digits
+        then found := Some li)
+    s.Poly.loops;
+  !found
+
+(* Priority used to canonicalize loop order: parallel iterators outermost,
+   reduction iterators innermost. *)
+let loop_priority (l : Poly.loop) =
+  let iter_priority = function
+    | "co" -> 0
+    | "oh" -> 1
+    | "ow" -> 2
+    | "ci" -> 3
+    | "kh" -> 4
+    | "kw" -> 5
+    | _ -> 6
+  in
+  List.fold_left
+    (fun acc (d : Poly.digit) ->
+      List.fold_left
+        (fun acc (c : Poly.contrib) -> min acc (iter_priority c.Poly.src))
+        acc d.Poly.contribs)
+    10 l.Poly.digits
+
+let canonicalize (s : Poly.t) =
+  let indexed = List.mapi (fun i l -> (i, loop_priority l)) s.Poly.loops in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) indexed in
+  Poly.reorder s (Array.of_list (List.map fst sorted))
+
+let try_transform s f = try f s with Poly.Illegal _ -> s
+
+let divisor_or_none extent factor = factor > 1 && extent mod factor = 0
+
+let extent_of_loop (s : Poly.t) pos = Poly.loop_extent (List.nth s.Poly.loops pos)
+
+(* --- CPU template ------------------------------------------------------ *)
+
+let cpu_template ~tile_ow ~tile_oh ~unroll_f s =
+  let s = canonicalize s in
+  (* Tile ow: the inner tile lands innermost, ready for vectorization. *)
+  let s =
+    match find_loop s "ow" with
+    | Some pos when divisor_or_none (extent_of_loop s pos) tile_ow ->
+        try_transform s (fun s -> Poly.tile s ~pos ~factor:tile_ow)
+    | _ -> s
+  in
+  let s =
+    match find_loop s "oh" with
+    | Some pos when divisor_or_none (extent_of_loop s pos) tile_oh ->
+        try_transform s (fun s -> Poly.tile s ~pos ~factor:tile_oh)
+    | _ -> s
+  in
+  let n = Poly.loop_count s in
+  let s = Poly.vectorize s ~pos:(n - 1) in
+  let s = if n >= 2 then Poly.prefetch s ~pos:(n - 2) else s in
+  if unroll_f > 1 then Poly.unroll s ~pos:(n - 1) ~factor:unroll_f else s
+
+(* --- GPU template ------------------------------------------------------ *)
+
+(* Positions of every loop (extent > 1) contributing to [iter]. *)
+let loops_touching (s : Poly.t) iter =
+  List.filteri (fun _ _ -> true) s.Poly.loops
+  |> List.mapi (fun li l -> (li, l))
+  |> List.filter_map (fun (li, (l : Poly.loop)) ->
+         if
+           Poly.loop_extent l > 1
+           && List.exists
+                (fun (d : Poly.digit) ->
+                  List.exists (fun (c : Poly.contrib) -> c.Poly.src = iter) d.Poly.contribs)
+                l.Poly.digits
+         then Some li
+         else None)
+
+let gpu_template ~threads ~unroll_f s =
+  let s = canonicalize s in
+  (* Map every output-channel loop onto the grid: the first (the group slice
+     after a grouping transformation) to blockIdx.x, the second to
+     blockIdx.y. *)
+  let s =
+    match loops_touching s "co" with
+    | [] -> s
+    | [ p ] -> Poly.bind s ~pos:p Poly.Block_x
+    | p1 :: p2 :: _ ->
+        let s = Poly.bind s ~pos:p1 Poly.Block_x in
+        Poly.bind s ~pos:p2 Poly.Block_y
+  in
+  (* Fuse the spatial loops into the thread dimension; large extents spill
+     into an extra block split, small ones recruit channel threads. *)
+  let s =
+    match (find_loop s "oh", find_loop s "ow") with
+    | Some ph, Some pw when pw = ph + 1 -> (
+        let s = try_transform s (fun s -> Poly.fuse s ~pos:ph) in
+        let fused_extent = extent_of_loop s ph in
+        if fused_extent > threads && divisor_or_none fused_extent threads then
+          (* Fused loops cannot be split directly; bind the whole fused loop
+             when splitting is unavailable. *)
+          try_transform s (fun s -> Poly.bind s ~pos:ph Poly.Thread_x)
+        else Poly.bind s ~pos:ph Poly.Thread_x)
+    | Some ph, _ -> Poly.bind s ~pos:ph Poly.Thread_x
+    | None, Some pw -> Poly.bind s ~pos:pw Poly.Thread_x
+    | None, None -> s
+  in
+  (* Small spatial planes under-fill the warps: recruit output channels from
+     blockIdx.y as threadIdx.y instead. *)
+  let spatial_threads =
+    List.fold_left
+      (fun acc (l : Poly.loop) ->
+        match l.Poly.bind with
+        | Some Poly.Thread_x -> acc * Poly.loop_extent l
+        | _ -> acc)
+      1 s.Poly.loops
+  in
+  let s =
+    if spatial_threads < 64 then begin
+      let rebound = ref false in
+      let loops =
+        List.map
+          (fun (l : Poly.loop) ->
+            if (not !rebound) && l.Poly.bind = Some Poly.Block_y
+               && Poly.loop_extent l <= 64
+            then begin
+              rebound := true;
+              { l with Poly.bind = Some Poly.Thread_y }
+            end
+            else l)
+          s.Poly.loops
+      in
+      { s with Poly.loops }
+    end
+    else s
+  in
+  let n = Poly.loop_count s in
+  if unroll_f > 1 then Poly.unroll s ~pos:(n - 1) ~factor:unroll_f else s
+
+(* --- Hints (the schedule part of the §7.3 sequences) ------------------ *)
+
+let apply_hints hints s =
+  let s =
+    match hints.h_spatial_split with
+    | Some f -> (
+        match find_loop s "oh" with
+        | Some pos when divisor_or_none (extent_of_loop s pos) f ->
+            (* Split the spatial domain and rotate the chunk loop outermost:
+               split -> interchange, the schedule skeleton of sequence 1. *)
+            let s = try_transform s (fun s -> Poly.split s ~pos ~factor:f) in
+            let n = Poly.loop_count s in
+            let perm = Array.init n (fun i -> if i = 0 then pos else if i <= pos then i - 1 else i) in
+            try_transform s (fun s -> Poly.reorder s perm)
+        | _ -> s)
+    | None -> s
+  in
+  match hints.h_unroll_co with
+  | Some f -> (
+      match find_loop s "co" with
+      | Some pos -> Poly.unroll s ~pos ~factor:f
+      | None -> s)
+  | None -> s
+
+(* --- Parameter grids --------------------------------------------------- *)
+
+let cpu_grid = [ 1; 4; 8 ]
+let cpu_oh_grid = [ 1; 2; 4 ]
+let cpu_unroll_grid = [ 1; 4; 16 ]
+let gpu_threads_grid = [ 32; 64; 128; 256 ]
+let gpu_unroll_grid = [ 1; 4 ]
+
+let configurations_tried dev _nest =
+  match dev.Device.kind with
+  | Device.Cpu _ ->
+      List.length cpu_grid * List.length cpu_oh_grid * List.length cpu_unroll_grid
+  | Device.Gpu _ -> List.length gpu_threads_grid * List.length gpu_unroll_grid
+
+let default_schedule dev nest =
+  let base = Loop_nest.baseline_schedule nest in
+  match dev.Device.kind with
+  | Device.Cpu _ -> cpu_template ~tile_ow:4 ~tile_oh:1 ~unroll_f:4 base
+  | Device.Gpu _ -> gpu_template ~threads:64 ~unroll_f:1 base
+
+let tune ?(hints = no_hints) ?base dev nest =
+  let base =
+    match base with Some b -> b | None -> Loop_nest.baseline_schedule nest
+  in
+  let base = apply_hints hints base in
+  let candidates =
+    match dev.Device.kind with
+    | Device.Cpu _ ->
+        List.concat_map
+          (fun tw ->
+            List.concat_map
+              (fun th ->
+                List.map
+                  (fun u -> cpu_template ~tile_ow:tw ~tile_oh:th ~unroll_f:u base)
+                  cpu_unroll_grid)
+              cpu_oh_grid)
+          cpu_grid
+    | Device.Gpu _ ->
+        List.concat_map
+          (fun threads ->
+            List.map (fun u -> gpu_template ~threads ~unroll_f:u base) gpu_unroll_grid)
+          gpu_threads_grid
+  in
+  let best = ref None in
+  List.iter
+    (fun s ->
+      let b = Cost_model.estimate dev nest s in
+      match !best with
+      | Some (_, bb) when bb.Cost_model.total_s <= b.Cost_model.total_s -> ()
+      | _ -> best := Some (s, b))
+    candidates;
+  match !best with
+  | Some result -> result
+  | None -> (base, Cost_model.estimate dev nest base)

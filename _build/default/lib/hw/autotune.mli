@@ -1,0 +1,39 @@
+(** Schedule templates and parameter auto-tuning (the stand-in for TVM's
+    default schedules + auto-tuning, §6).
+
+    A template turns a base schedule (which may already carry neural
+    transformations and the Table-1 hint annotations of the §7.3 sequences)
+    into a device-appropriate concrete schedule: CPU templates reorder the
+    nest parallel-loops-outermost, tile the spatial loops, vectorize the
+    innermost loop and unroll; GPU templates additionally map loops onto the
+    block/thread grid.  [tune] sweeps the template's parameter grid under
+    the cost model and keeps the best configuration. *)
+
+type hints = {
+  h_unroll_co : int option;
+      (** §7.3 sequence 2: pre-unroll the output-channel loop *)
+  h_spatial_split : int option;
+      (** §7.3 sequence 1: split the spatial domain and expose the chunk
+          loop as an extra outer parallel loop *)
+}
+
+val no_hints : hints
+
+val default_schedule : Device.t -> Loop_nest.conv_nest -> Poly.t
+(** The fixed "TVM default schedule" template instantiated with middle-of-
+    the-road parameters (no tuning). *)
+
+val tune :
+  ?hints:hints ->
+  ?base:Poly.t ->
+  Device.t ->
+  Loop_nest.conv_nest ->
+  Poly.t * Cost_model.breakdown
+(** Sweeps tile / unroll / thread-count parameters on top of [base]
+    (default: the nest's baseline schedule) and returns the best schedule
+    with its predicted cost.  The base schedule's neural transformations are
+    preserved. *)
+
+val configurations_tried : Device.t -> Loop_nest.conv_nest -> int
+(** Size of the parameter grid [tune] sweeps (for the search-time
+    accounting of §7.2). *)

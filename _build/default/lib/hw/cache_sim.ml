@@ -1,0 +1,77 @@
+type t = {
+  line : int;
+  sets : int;
+  assoc : int;
+  tags : int array;  (* sets * assoc, -1 = empty *)
+  ages : int array;  (* LRU stamps *)
+  mutable clock : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+}
+
+let create (c : Device.cache) =
+  let lines = max 1 (c.Device.c_size / c.c_line) in
+  let assoc = max 1 c.c_assoc in
+  let sets = max 1 (lines / assoc) in
+  { line = c.c_line;
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    ages = Array.make (sets * assoc) 0;
+    clock = 0;
+    n_accesses = 0;
+    n_misses = 0 }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0;
+  t.n_accesses <- 0;
+  t.n_misses <- 0
+
+let access t addr =
+  t.n_accesses <- t.n_accesses + 1;
+  t.clock <- t.clock + 1;
+  let block = addr / t.line in
+  let set = block mod t.sets in
+  let base = set * t.assoc in
+  let hit = ref false in
+  let victim = ref base in
+  let oldest = ref max_int in
+  for way = base to base + t.assoc - 1 do
+    if t.tags.(way) = block then begin
+      hit := true;
+      t.ages.(way) <- t.clock
+    end
+    else if t.ages.(way) < !oldest then begin
+      oldest := t.ages.(way);
+      victim := way
+    end
+  done;
+  if not !hit then begin
+    t.n_misses <- t.n_misses + 1;
+    t.tags.(!victim) <- block;
+    t.ages.(!victim) <- t.clock
+  end;
+  !hit
+
+type stats = { accesses : int; misses : int; miss_bytes : float }
+
+let stats t =
+  { accesses = t.n_accesses;
+    misses = t.n_misses;
+    miss_bytes = float_of_int (t.n_misses * t.line) }
+
+let simulate_program cache prog =
+  let sim = create cache in
+  let out_base = 0 in
+  let w_base = prog.Loop_nest.out_numel * 4 in
+  let in_base = w_base + (prog.w_numel * 4) in
+  Loop_nest.iter_accesses prog ~f:(fun ~out_idx ~w_idx ~in_idx ->
+      ignore (access sim (out_base + (out_idx * 4)));
+      ignore (access sim (w_base + (w_idx * 4)));
+      ignore (access sim (in_base + (in_idx * 4))));
+  stats sim
+
+let miss_rate s =
+  if s.accesses = 0 then 0.0 else float_of_int s.misses /. float_of_int s.accesses

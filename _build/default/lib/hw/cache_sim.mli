@@ -1,0 +1,29 @@
+(** Trace-driven set-associative LRU cache simulator.
+
+    Used to cross-validate the analytic cost model's footprint-based traffic
+    predictions on small loop nests: the simulator replays the exact access
+    stream of a lowered program ({!Loop_nest.iter_accesses}) through a cache
+    and counts misses. *)
+
+type t
+
+val create : Device.cache -> t
+val reset : t -> unit
+
+val access : t -> int -> bool
+(** [access t byte_address] touches one 4-byte element; returns [true] on a
+    hit. *)
+
+type stats = {
+  accesses : int;
+  misses : int;
+  miss_bytes : float;
+}
+
+val stats : t -> stats
+
+val simulate_program : Device.cache -> Loop_nest.program -> stats
+(** Replays the program's full access trace (output, weight and input
+    arrays laid out contiguously in that order) through a fresh cache. *)
+
+val miss_rate : stats -> float

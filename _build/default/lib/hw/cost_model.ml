@@ -1,0 +1,304 @@
+type breakdown = {
+  compute_s : float;
+  memory_s : float;
+  overhead_s : float;
+  total_s : float;
+  dram_bytes : float;
+  parallel_speedup : float;
+  vector_eff : float;
+}
+
+(* A level is one digit of the schedule, flattened outermost-first, carrying
+   its owning loop's annotations. *)
+type level = {
+  lv_iters : (string * int) list;  (* (iterator, weight) *)
+  lv_extent : int;
+  lv_unroll : int;
+  lv_vectorized : bool;
+  lv_prefetched : bool;
+  lv_bind : Poly.gpu_bind option;
+}
+
+let levels_of (s : Poly.t) =
+  List.concat_map
+    (fun (l : Poly.loop) ->
+      List.map
+        (fun (d : Poly.digit) ->
+          { lv_iters = List.map (fun (c : Poly.contrib) -> (c.Poly.src, c.Poly.weight)) d.Poly.contribs;
+            lv_extent = d.Poly.extent;
+            lv_unroll = l.Poly.unroll;
+            lv_vectorized = l.Poly.vectorized;
+            lv_prefetched = l.Poly.prefetched;
+            lv_bind = l.Poly.bind })
+        l.Poly.digits)
+    s.Poly.loops
+
+let touches level iter = List.mem_assoc iter level.lv_iters
+let reduction_iters = [ "ci"; "kh"; "kw" ]
+let output_iters = [ "co"; "oh"; "ow" ]
+
+(* A level carries a reduction (is not parallelizable) when it advances a
+   reduction iterator without also partitioning the output: the shared
+   slice digit of a grouped convolution advances both [ci] and [co], and
+   distinct slices write disjoint output channels, so it is parallel. *)
+let is_reduction_level level =
+  List.exists (touches level) reduction_iters
+  && not (List.exists (touches level) output_iters)
+
+(* Iteration extent of [iter] covered by levels at depth >= d. *)
+let covered levels d iter =
+  let total = ref 1 in
+  List.iteri
+    (fun i lv -> if i >= d && touches lv iter then total := !total * lv.lv_extent)
+    levels;
+  !total
+
+let float_bytes = 4.0
+
+(* Footprints (bytes) of the three arrays over the levels at depth >= d. *)
+let footprints nest (s : Poly.t) levels d =
+  let stride = nest.Loop_nest.nc_stride in
+  let cig =
+    Poly.iter_extent s "ci" / Loop_nest.effective_groups s nest
+  in
+  let co = covered levels d "co"
+  and ci = covered levels d "ci"
+  and oh = covered levels d "oh"
+  and ow = covered levels d "ow"
+  and kh = covered levels d "kh"
+  and kw = covered levels d "kw" in
+  let fo = float_of_int (co * oh * ow) *. float_bytes in
+  let fw = float_of_int (co * min ci cig * kh * kw) *. float_bytes in
+  let fi =
+    float_of_int (ci * (((oh - 1) * stride) + kh) * (((ow - 1) * stride) + kw))
+    *. float_bytes
+  in
+  (fo, fw, fi)
+
+(* Bytes moved from beyond a cache of capacity [cap]: find the shallowest
+   depth whose footprint fits, then charge one footprint per iteration of
+   the loops above that depth. *)
+let traffic_beyond ?(max_restream = infinity) nest s levels cap =
+  let n = List.length levels in
+  let extents = Array.of_list (List.map (fun lv -> lv.lv_extent) levels) in
+  let pick select =
+    let best = ref None in
+    for d = 0 to n do
+      if !best = None then begin
+        let fo, fw, fi = footprints nest s levels d in
+        if select (fo, fw, fi) <= cap then best := Some d
+      end
+    done;
+    let d = match !best with Some d -> d | None -> n in
+    let outer = ref 1.0 in
+    for i = 0 to d - 1 do
+      outer := !outer *. float_of_int extents.(i)
+    done;
+    let fo, fw, fi = footprints nest s levels d in
+    let full = select (footprints nest s levels 0) in
+    (* Concurrently resident consumers (GPU thread blocks) share the cache,
+       so the per-iteration restream model is capped. *)
+    Float.min (!outer *. select (fo, fw, fi)) (max_restream *. full)
+  in
+  let o = pick (fun (fo, _, _) -> fo)
+  and w = pick (fun (_, fw, _) -> fw)
+  and i = pick (fun (_, _, fi) -> fi) in
+  (* The output is written as well as read. *)
+  (1.5 *. o) +. w +. i
+
+(* Vector efficiency of the innermost level on a CPU. *)
+let cpu_vector_eff (c : Device.cpu) nest levels =
+  match List.rev levels with
+  | [] -> 1.0
+  | inner :: _ ->
+      if not inner.lv_vectorized then 1.0
+      else begin
+        let vw = float_of_int c.vector_width in
+        let unit_stride_gain =
+          if touches inner "ow" then
+            if nest.Loop_nest.nc_stride = 1 then 0.85 else 0.55
+          else if touches inner "kw" then 0.6
+          else if touches inner "co" then 0.5 (* needs a transpose/shuffle *)
+          else 0.0
+        in
+        if unit_stride_gain = 0.0 then 1.0
+        else begin
+          let extent = float_of_int inner.lv_extent in
+          let fill = min 1.0 (extent /. float_of_int c.vector_width) in
+          Float.max 1.0 (vw *. unit_stride_gain *. fill)
+        end
+      end
+
+let cpu_parallel_speedup (c : Device.cpu) levels parallel_extra =
+  (* Parallelizable prefix: outer levels free of reduction iterators. *)
+  let rec prefix acc = function
+    | lv :: rest when not (is_reduction_level lv) ->
+        if acc >= c.cores * 16 then acc else prefix (acc * lv.lv_extent) rest
+    | _ -> acc
+  in
+  let par = max (prefix 1 levels) parallel_extra in
+  if par <= 1 then 1.0
+  else begin
+    let cores = c.cores in
+    let chunks = (par + cores - 1) / cores in
+    let speedup = float_of_int par /. float_of_int chunks in
+    Float.min (float_of_int cores) speedup
+  end
+
+let cpu_loop_overhead levels points =
+  (* Branch/index overhead per innermost iteration, amortized by unrolling
+     and vectorization (the unroll of the two innermost levels counts). *)
+  match List.rev levels with
+  | [] -> 0.0
+  | inner :: rest ->
+      let unroll =
+        match rest with
+        | next :: _ -> max inner.lv_unroll next.lv_unroll
+        | [] -> inner.lv_unroll
+      in
+      let per_iter = if unroll >= 4 then 0.3 else 1.2 in
+      let per_iter = if inner.lv_vectorized then per_iter /. 2.0 else per_iter in
+      points *. per_iter
+
+(* Unrolling an output-channel loop keeps a block of accumulators in
+   registers (register blocking), improving issue efficiency. *)
+let register_blocking_gain levels =
+  if
+    List.exists
+      (fun lv -> lv.lv_unroll >= 8 && touches lv "co")
+      levels
+  then 0.92
+  else 1.0
+
+(* Depthwise-style nests (one input channel per group) have no reduction
+   dimension to amortize loads over; real kernels reach a fraction of peak. *)
+let depthwise_penalty (s : Poly.t) nest =
+  let groups = Loop_nest.effective_groups s nest in
+  let ci = Poly.iter_extent s "ci" in
+  if groups >= ci && ci > 1 then 2.5 else 1.0
+
+let estimate_cpu (dev : Device.t) (c : Device.cpu) nest s =
+  let levels = levels_of s in
+  let points = float_of_int (Poly.points s) in
+  let vec = cpu_vector_eff c nest levels in
+  let parallel_extra =
+    List.fold_left
+      (fun acc (l : Poly.loop) ->
+        if l.Poly.parallelized then acc * Poly.loop_extent l else acc)
+      1 s.Poly.loops
+  in
+  let par = cpu_parallel_speedup c levels parallel_extra in
+  let issue_cycles =
+    points /. (vec *. float_of_int c.fma_per_cycle)
+    *. register_blocking_gain levels *. depthwise_penalty s nest
+  in
+  let cycles = issue_cycles +. cpu_loop_overhead levels points in
+  let compute_s = cycles /. (c.freq_ghz *. 1e9) /. par in
+  (* Last-level cache decides DRAM traffic; inner levels add smaller terms. *)
+  let caches = Array.of_list c.caches in
+  let llc = caches.(Array.length caches - 1) in
+  let dram = traffic_beyond nest s levels (float_of_int llc.c_size *. 0.5) in
+  let l1 = caches.(0) in
+  let l1_traffic = traffic_beyond nest s levels (float_of_int l1.c_size *. 0.5) in
+  let l2_bw = c.mem_bw_gbs *. 6.0 (* on-chip bandwidth *) in
+  (* Software prefetching hides part of the DRAM latency, raising the
+     achieved fraction of peak bandwidth. *)
+  let bw_eff =
+    if List.exists (fun lv -> lv.lv_prefetched) levels then 1.0 else 0.8
+  in
+  let memory_s =
+    (dram /. (c.mem_bw_gbs *. 1e9 *. bw_eff))
+    +. (l1_traffic /. (l2_bw *. 1e9) /. par)
+  in
+  let overhead_s = c.op_overhead_us *. 1e-6 in
+  ignore dev;
+  { compute_s;
+    memory_s;
+    overhead_s;
+    total_s = Float.max compute_s memory_s +. overhead_s;
+    dram_bytes = dram;
+    parallel_speedup = par;
+    vector_eff = vec }
+
+let estimate_gpu (dev : Device.t) (g : Device.gpu) nest s =
+  let levels = levels_of s in
+  let points = float_of_int (Poly.points s) in
+  let product pred =
+    List.fold_left
+      (fun acc lv -> if pred lv.lv_bind then acc * lv.lv_extent else acc)
+      1 levels
+  in
+  let blocks =
+    product (function Some (Poly.Block_x | Poly.Block_y) -> true | _ -> false)
+  in
+  let threads =
+    product (function Some (Poly.Thread_x | Poly.Thread_y) -> true | _ -> false)
+  in
+  let vthreads = product (function Some Poly.Vthread -> true | _ -> false) in
+  let total_threads = blocks * threads * vthreads in
+  let cores = g.sms * g.cores_per_sm in
+  (* Latency hiding needs several resident warps per core group. *)
+  let util =
+    if total_threads <= 1 then 1.0 /. float_of_int cores
+    else Float.min 1.0 (float_of_int total_threads /. (float_of_int cores *. 4.0))
+  in
+  (* Under-populated blocks waste warp lanes. *)
+  let warp_eff =
+    if threads <= 1 then 0.25
+    else Float.min 1.0 (float_of_int threads /. float_of_int g.warp)
+  in
+  let eff_cores = float_of_int cores *. util *. warp_eff in
+  let compute_s =
+    points *. depthwise_penalty s nest /. (eff_cores *. g.g_freq_ghz *. 1e9)
+  in
+  (* Coalescing: the thread-bound level must advance unit-stride in memory. *)
+  let coalesce =
+    let thread_levels =
+      List.filter
+        (fun lv ->
+          match lv.lv_bind with
+          | Some (Poly.Thread_x | Poly.Thread_y) -> true
+          | _ -> false)
+        levels
+    in
+    if thread_levels = [] then 0.25
+    else if List.exists (fun lv -> touches lv "ow" || touches lv "oh") thread_levels
+    then 1.0
+    else 0.35
+  in
+  let dram =
+    traffic_beyond ~max_restream:16.0 nest s levels (float_of_int g.l2.c_size *. 0.5)
+  in
+  let memory_s = dram /. (g.g_mem_bw_gbs *. 1e9 *. coalesce) in
+  let overhead_s = g.launch_overhead_us *. 1e-6 in
+  ignore dev;
+  { compute_s;
+    memory_s;
+    overhead_s;
+    total_s = Float.max compute_s memory_s +. overhead_s;
+    dram_bytes = dram;
+    parallel_speedup = float_of_int (min total_threads cores);
+    vector_eff = warp_eff }
+
+let estimate dev nest s =
+  match dev.Device.kind with
+  | Device.Cpu c -> estimate_cpu dev c nest s
+  | Device.Gpu g -> estimate_gpu dev g nest s
+
+let estimate_s dev nest s = (estimate dev nest s).total_s
+
+let elementwise_time dev ~elems =
+  let bytes = float_of_int elems *. float_bytes *. 3.0 in
+  match dev.Device.kind with
+  | Device.Cpu c -> (bytes /. (c.mem_bw_gbs *. 1e9)) +. (c.op_overhead_us *. 0.3e-6)
+  | Device.Gpu g -> (bytes /. (g.g_mem_bw_gbs *. 1e9)) +. (g.launch_overhead_us *. 0.3e-6)
+
+let dram_traffic dev nest s =
+  let levels = levels_of s in
+  match dev.Device.kind with
+  | Device.Cpu c ->
+      let caches = Array.of_list c.caches in
+      let llc = caches.(Array.length caches - 1) in
+      traffic_beyond nest s levels (float_of_int llc.c_size *. 0.5)
+  | Device.Gpu g ->
+      traffic_beyond ~max_restream:16.0 nest s levels (float_of_int g.l2.c_size *. 0.5)

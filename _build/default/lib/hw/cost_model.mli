@@ -1,0 +1,45 @@
+(** Analytic performance model for scheduled convolution loop nests.
+
+    This plays the role of the real hardware in the paper's evaluation: it
+    turns (device, convolution, schedule) into an estimated latency.  The
+    model combines
+
+    - {b compute}: MAC count over effective issue width — SIMD vector
+      efficiency (unit-stride innermost loops), FMA throughput, loop
+      overhead amortized by unrolling, multi-core speedup from the
+      parallelizable outer-loop prefix (or GPU grid/block occupancy);
+    - {b memory}: working-set (footprint) analysis per array at every loop
+      depth, giving per-cache-level traffic and hence DRAM time, with a
+      coalescing penalty for badly mapped GPU accesses;
+    - {b overhead}: per-operator dispatch / kernel-launch cost, which
+      dominates small convolutions on the mobile GPU.
+
+    The absolute numbers are synthetic; the experiments only consume
+    ratios between schedules on a fixed device, which is what a footprint
+    model captures faithfully (it is the same family of models used by
+    TVM/Ansor's analytical cost estimators).  The trace-driven
+    {!Cache_sim} cross-validates the footprint-derived traffic on small
+    nests. *)
+
+type breakdown = {
+  compute_s : float;
+  memory_s : float;
+  overhead_s : float;
+  total_s : float;
+  dram_bytes : float;
+  parallel_speedup : float;
+  vector_eff : float;
+}
+
+val estimate : Device.t -> Loop_nest.conv_nest -> Poly.t -> breakdown
+(** Latency of one execution of the scheduled nest (batch 1). *)
+
+val estimate_s : Device.t -> Loop_nest.conv_nest -> Poly.t -> float
+(** [ (estimate d n s).total_s ]. *)
+
+val elementwise_time : Device.t -> elems:int -> float
+(** Cost of one fused elementwise pass (batch-norm + ReLU) over a tensor —
+    a bandwidth-bound sweep plus dispatch overhead. *)
+
+val dram_traffic : Device.t -> Loop_nest.conv_nest -> Poly.t -> float
+(** Estimated DRAM bytes, exposed for the cache-simulator validation. *)

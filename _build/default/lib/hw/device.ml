@@ -1,0 +1,104 @@
+type cache = { c_size : int; c_line : int; c_assoc : int }
+
+type cpu = {
+  cores : int;
+  vector_width : int;
+  fma_per_cycle : int;
+  freq_ghz : float;
+  caches : cache list;
+  mem_bw_gbs : float;
+  op_overhead_us : float;
+}
+
+type gpu = {
+  sms : int;
+  cores_per_sm : int;
+  g_freq_ghz : float;
+  warp : int;
+  max_threads_per_sm : int;
+  l2 : cache;
+  g_mem_bw_gbs : float;
+  launch_overhead_us : float;
+}
+
+type kind = Cpu of cpu | Gpu of gpu
+type t = { dev_name : string; short_name : string; kind : kind }
+
+let i7 =
+  { dev_name = "Intel Core i7 (server CPU)";
+    short_name = "CPU";
+    kind =
+      Cpu
+        { cores = 4;
+          vector_width = 8;  (* AVX2 *)
+          fma_per_cycle = 2;
+          freq_ghz = 4.0;
+          caches =
+            [ { c_size = 32 * 1024; c_line = 64; c_assoc = 8 };
+              { c_size = 256 * 1024; c_line = 64; c_assoc = 8 };
+              { c_size = 8 * 1024 * 1024; c_line = 64; c_assoc = 16 } ];
+          mem_bw_gbs = 34.0;
+          op_overhead_us = 1.5 } }
+
+let gtx1080ti =
+  { dev_name = "Nvidia GTX 1080 Ti (server GPU)";
+    short_name = "GPU";
+    kind =
+      Gpu
+        { sms = 28;
+          cores_per_sm = 128;
+          g_freq_ghz = 1.58;
+          warp = 32;
+          max_threads_per_sm = 2048;
+          l2 = { c_size = 2816 * 1024; c_line = 128; c_assoc = 16 };
+          g_mem_bw_gbs = 484.0;
+          launch_overhead_us = 7.0 } }
+
+let arm_a57 =
+  { dev_name = "ARM Cortex-A57 (mobile CPU, Jetson Nano)";
+    short_name = "mCPU";
+    kind =
+      Cpu
+        { cores = 4;
+          vector_width = 4;  (* NEON *)
+          fma_per_cycle = 1;
+          freq_ghz = 1.43;
+          caches =
+            [ { c_size = 32 * 1024; c_line = 64; c_assoc = 2 };
+              { c_size = 2 * 1024 * 1024; c_line = 64; c_assoc = 16 } ];
+          mem_bw_gbs = 10.0;
+          op_overhead_us = 4.0 } }
+
+let maxwell_mgpu =
+  { dev_name = "Nvidia 128-core Maxwell (mobile GPU, Jetson Nano)";
+    short_name = "mGPU";
+    kind =
+      Gpu
+        { sms = 1;
+          cores_per_sm = 128;
+          g_freq_ghz = 0.92;
+          warp = 32;
+          max_threads_per_sm = 2048;
+          l2 = { c_size = 256 * 1024; c_line = 128; c_assoc = 16 };
+          g_mem_bw_gbs = 12.0;  (* LPDDR4, shared with the CPU *)
+          launch_overhead_us = 20.0 } }
+
+let all = [ i7; gtx1080ti; arm_a57; maxwell_mgpu ]
+
+let by_name name =
+  List.find_opt (fun d -> d.short_name = name || d.dev_name = name) all
+
+let peak_gflops t =
+  match t.kind with
+  | Cpu c ->
+      float_of_int (c.cores * c.vector_width * c.fma_per_cycle) *. c.freq_ghz *. 2.0
+  | Gpu g -> float_of_int (g.sms * g.cores_per_sm) *. g.g_freq_ghz *. 2.0
+
+let pp ppf t =
+  match t.kind with
+  | Cpu c ->
+      Format.fprintf ppf "%s: %d cores @@ %.2f GHz, %d-wide SIMD, %.0f GB/s (%.0f GFLOP/s peak)"
+        t.dev_name c.cores c.freq_ghz c.vector_width c.mem_bw_gbs (peak_gflops t)
+  | Gpu g ->
+      Format.fprintf ppf "%s: %d SMs x %d cores @@ %.2f GHz, %.0f GB/s (%.0f GFLOP/s peak)"
+        t.dev_name g.sms g.cores_per_sm g.g_freq_ghz g.g_mem_bw_gbs (peak_gflops t)

@@ -1,0 +1,59 @@
+(** Parameterized models of the paper's four evaluation platforms (§6.1):
+    an Intel Core i7 (CPU), an Nvidia GTX 1080 Ti (GPU), an ARM Cortex-A57
+    (mCPU) and the Jetson Nano's 128-core Maxwell (mGPU).
+
+    The container has no such hardware, so the experiments run against these
+    analytic descriptions.  The parameters are taken from public spec sheets;
+    what the experiments rely on is the *relative* behaviour they induce
+    (compute-bound vs memory-bound, kernel-launch overheads dominating small
+    convolutions on the mGPU, narrow vectors on the A57, ...). *)
+
+type cache = {
+  c_size : int;  (** bytes *)
+  c_line : int;  (** bytes *)
+  c_assoc : int;
+}
+
+type cpu = {
+  cores : int;
+  vector_width : int;  (** floats per SIMD lane group *)
+  fma_per_cycle : int;  (** vector FMAs issued per cycle per core *)
+  freq_ghz : float;
+  caches : cache list;  (** L1 first *)
+  mem_bw_gbs : float;
+  op_overhead_us : float;  (** per-operator dispatch overhead *)
+}
+
+type gpu = {
+  sms : int;
+  cores_per_sm : int;
+  g_freq_ghz : float;
+  warp : int;
+  max_threads_per_sm : int;
+  l2 : cache;
+  g_mem_bw_gbs : float;
+  launch_overhead_us : float;  (** per-kernel launch cost *)
+}
+
+type kind = Cpu of cpu | Gpu of gpu
+
+type t = {
+  dev_name : string;
+  short_name : string;
+  kind : kind;
+}
+
+val i7 : t
+val gtx1080ti : t
+val arm_a57 : t
+val maxwell_mgpu : t
+
+val all : t list
+(** The four platforms, in the paper's (CPU, GPU, mCPU, mGPU) order. *)
+
+val by_name : string -> t option
+
+val peak_gflops : t -> float
+(** Peak single-precision MAC throughput, in GFLOP/s (2 flops per MAC). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type bound = Compute_bound | Memory_bound | Overhead_bound
+
+type t = {
+  rf_intensity : float;
+  rf_ridge : float;
+  rf_bound : bound;
+  rf_attainable_macs_per_s : float;
+  rf_achieved_macs_per_s : float;
+}
+
+let bound_name = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Overhead_bound -> "overhead-bound"
+
+let bandwidth_gbs dev =
+  match dev.Device.kind with
+  | Device.Cpu c -> c.Device.mem_bw_gbs
+  | Device.Gpu g -> g.Device.g_mem_bw_gbs
+
+let analyze dev nest schedule =
+  let breakdown = Cost_model.estimate dev nest schedule in
+  let macs = float_of_int (Poly.points schedule) in
+  let bytes = Float.max 1.0 breakdown.Cost_model.dram_bytes in
+  let intensity = macs /. bytes in
+  let peak = Device.peak_gflops dev /. 2.0 *. 1e9 (* MACs/s *) in
+  let bw = bandwidth_gbs dev *. 1e9 in
+  let ridge = peak /. bw in
+  let attainable = Float.min peak (bw *. intensity) in
+  let bound =
+    if breakdown.overhead_s > Float.max breakdown.compute_s breakdown.memory_s then
+      Overhead_bound
+    else if breakdown.memory_s > breakdown.compute_s then Memory_bound
+    else Compute_bound
+  in
+  { rf_intensity = intensity;
+    rf_ridge = ridge;
+    rf_bound = bound;
+    rf_attainable_macs_per_s = attainable;
+    rf_achieved_macs_per_s = macs /. breakdown.total_s }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "intensity %.1f MAC/B (ridge %.1f) -> %s; attainable %.1f GMAC/s, achieved %.1f GMAC/s"
+    t.rf_intensity t.rf_ridge (bound_name t.rf_bound)
+    (t.rf_attainable_macs_per_s /. 1e9)
+    (t.rf_achieved_macs_per_s /. 1e9)

@@ -1,0 +1,25 @@
+(** Roofline analysis of scheduled convolutions.
+
+    Classifies a (device, nest, schedule) triple as compute- or memory-bound
+    by comparing its arithmetic intensity (MACs per DRAM byte, as predicted
+    by the cost model's traffic analysis) against the device's ridge point
+    (peak MACs/s over peak bytes/s).  Used by the reporting tools and by the
+    documentation examples to explain *why* a transformation pays off on one
+    platform and not another. *)
+
+type bound = Compute_bound | Memory_bound | Overhead_bound
+
+type t = {
+  rf_intensity : float;  (** MACs per DRAM byte *)
+  rf_ridge : float;  (** device ridge point, MACs per byte *)
+  rf_bound : bound;
+  rf_attainable_macs_per_s : float;
+      (** min(peak, bandwidth * intensity), in MACs/s *)
+  rf_achieved_macs_per_s : float;  (** MACs over predicted latency *)
+}
+
+val bound_name : bound -> string
+
+val analyze : Device.t -> Loop_nest.conv_nest -> Poly.t -> t
+
+val pp : Format.formatter -> t -> unit

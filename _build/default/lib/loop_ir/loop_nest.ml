@@ -1,0 +1,270 @@
+type conv_nest = {
+  nc_co : int;
+  nc_ci : int;
+  nc_oh : int;
+  nc_ow : int;
+  nc_kh : int;
+  nc_kw : int;
+  nc_stride : int;
+  nc_groups : int;
+}
+
+let conv_nest_of_dims ~co ~ci ~oh ~ow ~k ~stride ~groups =
+  { nc_co = co; nc_ci = ci; nc_oh = oh; nc_ow = ow; nc_kh = k; nc_kw = k;
+    nc_stride = stride; nc_groups = groups }
+
+let domain nest =
+  [ ("co", nest.nc_co); ("ci", nest.nc_ci); ("oh", nest.nc_oh); ("ow", nest.nc_ow);
+    ("kh", nest.nc_kh); ("kw", nest.nc_kw) ]
+
+let baseline_schedule nest =
+  let s = Poly.of_domain (domain nest) in
+  if nest.nc_groups > 1 then Poly.group s ~co:"co" ~ci:"ci" ~factor:nest.nc_groups
+  else s
+
+type term = { t_loop : int; t_div : int; t_mod : int; t_mul : int }
+type index = { terms : term list; i_const : int }
+
+type lir_loop = {
+  ll_name : string;
+  ll_extent : int;
+  ll_unroll : int;
+  ll_vectorized : bool;
+  ll_bind : Poly.gpu_bind option;
+}
+
+type program = {
+  loops : lir_loop array;
+  dst : index;
+  acc_w : index;
+  acc_i : index;
+  out_numel : int;
+  w_numel : int;
+  in_numel : int;
+  nest : conv_nest;
+  schedule : Poly.t;
+}
+
+let effective_groups (s : Poly.t) (_nest : conv_nest) =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Poly.N_group { factor } -> acc * factor
+      | Poly.N_depthwise { factor } -> acc * factor
+      | Poly.N_bottleneck _ -> acc)
+    1 s.Poly.neural_log
+(* Baseline grouping is applied through the schedule's neural log by
+   [baseline_schedule], so it is already included in the product. *)
+
+(* Builds the quasi-affine index for a target linear combination of
+   iterators.  [coeff it] is the multiplier of iterator [it] in the flat
+   index; [modulus it] is an optional positional cut: digits with weight >=
+   modulus are dropped (used for the grouped weight layout, where the array
+   stores only the within-group channel index). *)
+let build_index (s : Poly.t) ~coeff ~modulus ~const =
+  let terms = ref [] in
+  List.iteri
+    (fun li (l : Poly.loop) ->
+      (* inner.(di) = product of extents of digits after di in this loop *)
+      let digits = Array.of_list l.Poly.digits in
+      let n = Array.length digits in
+      let inner = Array.make n 1 in
+      for di = n - 2 downto 0 do
+        inner.(di) <- inner.(di + 1) * digits.(di + 1).Poly.extent
+      done;
+      Array.iteri
+        (fun di (d : Poly.digit) ->
+          List.iter
+            (fun (c : Poly.contrib) ->
+              let keep =
+                match modulus c.Poly.src with
+                | Some m -> c.Poly.weight < m
+                | None -> true
+              in
+              let k = coeff c.Poly.src in
+              if keep && k <> 0 && d.Poly.extent > 1 then
+                terms :=
+                  { t_loop = li;
+                    t_div = inner.(di);
+                    t_mod = (if n = 1 then 0 else d.Poly.extent);
+                    t_mul = c.Poly.weight * k }
+                  :: !terms)
+            d.Poly.contribs)
+        digits)
+    s.Poly.loops;
+  { terms = List.rev !terms; i_const = const }
+
+let lower nest (s : Poly.t) =
+  let ext name = Poly.iter_extent s name in
+  let co = ext "co" and ci = ext "ci" and oh = ext "oh" and ow = ext "ow" in
+  let kh = ext "kh" and kw = ext "kw" in
+  let stride = nest.nc_stride in
+  let groups = effective_groups s nest in
+  if ci mod groups <> 0 || co mod groups <> 0 then
+    raise (Poly.Illegal "lower: grouping does not divide channel extents");
+  let cig = ci / groups in
+  let ihp = ((oh - 1) * stride) + kh in
+  let iwp = ((ow - 1) * stride) + kw in
+  let dst =
+    build_index s
+      ~coeff:(function "co" -> oh * ow | "oh" -> ow | "ow" -> 1 | _ -> 0)
+      ~modulus:(fun _ -> None)
+      ~const:0
+  in
+  let acc_w =
+    build_index s
+      ~coeff:(function
+        | "co" -> cig * kh * kw
+        | "ci" -> kh * kw
+        | "kh" -> kw
+        | "kw" -> 1
+        | _ -> 0)
+      ~modulus:(function "ci" -> Some cig | _ -> None)
+      ~const:0
+  in
+  let acc_i =
+    build_index s
+      ~coeff:(function
+        | "ci" -> ihp * iwp
+        | "oh" -> stride * iwp
+        | "kh" -> iwp
+        | "ow" -> stride
+        | "kw" -> 1
+        | _ -> 0)
+      ~modulus:(fun _ -> None)
+      ~const:0
+  in
+  let names = Poly.loop_names s in
+  let loops =
+    Array.of_list
+      (List.mapi
+         (fun i (l : Poly.loop) ->
+           { ll_name = names.(i);
+             ll_extent = Poly.loop_extent l;
+             ll_unroll = l.Poly.unroll;
+             ll_vectorized = l.Poly.vectorized;
+             ll_bind = l.Poly.bind })
+         s.Poly.loops)
+  in
+  { loops;
+    dst;
+    acc_w;
+    acc_i;
+    out_numel = co * oh * ow;
+    w_numel = co * cig * kh * kw;
+    in_numel = ci * ihp * iwp;
+    nest;
+    schedule = s }
+
+let eval_index idx values =
+  List.fold_left
+    (fun acc t ->
+      let v = values.(t.t_loop) / t.t_div in
+      let v = if t.t_mod = 0 then v else v mod t.t_mod in
+      acc + (v * t.t_mul))
+    idx.i_const idx.terms
+
+let run prog ~output ~weight ~input =
+  if Tensor.numel output <> prog.out_numel then invalid_arg "run: output size";
+  if Tensor.numel weight <> prog.w_numel then invalid_arg "run: weight size";
+  if Tensor.numel input <> prog.in_numel then invalid_arg "run: input size";
+  let od = Tensor.data output and wd = Tensor.data weight and id = Tensor.data input in
+  let n = Array.length prog.loops in
+  let values = Array.make n 0 in
+  let rec go depth =
+    if depth = n then begin
+      let d = eval_index prog.dst values in
+      let a = eval_index prog.acc_w values in
+      let b = eval_index prog.acc_i values in
+      od.(d) <- od.(d) +. (wd.(a) *. id.(b))
+    end
+    else
+      for v = 0 to prog.loops.(depth).ll_extent - 1 do
+        values.(depth) <- v;
+        go (depth + 1)
+      done
+  in
+  go 0
+
+let iter_accesses prog ~f =
+  let n = Array.length prog.loops in
+  let values = Array.make n 0 in
+  let rec go depth =
+    if depth = n then
+      f ~out_idx:(eval_index prog.dst values) ~w_idx:(eval_index prog.acc_w values)
+        ~in_idx:(eval_index prog.acc_i values)
+    else
+      for v = 0 to prog.loops.(depth).ll_extent - 1 do
+        values.(depth) <- v;
+        go (depth + 1)
+      done
+  in
+  go 0
+
+let pp_index names ppf idx =
+  if idx.terms = [] then Format.pp_print_string ppf (string_of_int idx.i_const)
+  else begin
+    List.iteri
+      (fun i t ->
+        if i > 0 then Format.pp_print_string ppf " + ";
+        let base = names.(t.t_loop) in
+        let divved = if t.t_div = 1 then base else Printf.sprintf "(%s/%d)" base t.t_div in
+        let modded =
+          if t.t_mod = 0 then divved else Printf.sprintf "(%s%%%d)" divved t.t_mod
+        in
+        if t.t_mul = 1 then Format.pp_print_string ppf modded
+        else Format.fprintf ppf "%s*%d" modded t.t_mul)
+      idx.terms;
+    if idx.i_const <> 0 then Format.fprintf ppf " + %d" idx.i_const
+  end
+
+let pp ppf prog =
+  let names = Array.map (fun l -> l.ll_name) prog.loops in
+  (* Make names unique and C-friendly. *)
+  let seen = Hashtbl.create 8 in
+  let names =
+    Array.map
+      (fun raw ->
+        let base =
+          String.map (fun c -> if c = '+' || c = '/' || c = '.' then '_' else c) raw
+        in
+        let count = try Hashtbl.find seen base with Not_found -> 0 in
+        Hashtbl.replace seen base (count + 1);
+        if count = 0 then base else Printf.sprintf "%s_%d" base count)
+      names
+  in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i l ->
+      let annots =
+        List.filter_map
+          (fun x -> x)
+          [ (if l.ll_unroll > 1 then Some (Printf.sprintf "#unroll %d" l.ll_unroll)
+             else None);
+            (if l.ll_vectorized then Some "#vectorize" else None);
+            Option.map (fun b -> "#bind " ^ Poly.gpu_bind_to_string b) l.ll_bind ]
+      in
+      Format.fprintf ppf "%sfor (%s = 0; %s < %d; %s++)%s@,"
+        (String.make (2 * i) ' ')
+        names.(i) names.(i) l.ll_extent names.(i)
+        (if annots = [] then "" else "  // " ^ String.concat " " annots))
+    prog.loops;
+  Format.fprintf ppf "%sO[%a] += W[%a] * I[%a];@]"
+    (String.make (2 * Array.length prog.loops) ' ')
+    (pp_index names) prog.dst (pp_index names) prog.acc_w (pp_index names) prog.acc_i
+
+let pad_input t ~pad =
+  if pad = 0 then t
+  else begin
+    let s = Tensor.shape t in
+    let c = s.(0) and h = s.(1) and w = s.(2) in
+    let out = Tensor.zeros [| c; h + (2 * pad); w + (2 * pad) |] in
+    for ci = 0 to c - 1 do
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          Tensor.set out [| ci; hi + pad; wi + pad |] (Tensor.get t [| ci; hi; wi |])
+        done
+      done
+    done;
+    out
+  end

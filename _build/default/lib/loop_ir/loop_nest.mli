@@ -1,0 +1,101 @@
+(** Executable loop nests for tensor convolutions.
+
+    A {!program} is the lowering of a convolution domain under a
+    {!Poly.t} schedule: an ordered list of loops (with unroll / vectorize /
+    GPU-bind annotations, which do not affect semantics here) around a single
+    multiply-accumulate statement with quasi-affine accesses
+
+      O[dst] += W[a] * I[b]
+
+    The interpreter executes programs directly against tensors, which lets
+    the test-suite check that semantics-preserving schedules compute exactly
+    the reference convolution and that neural transformations change it in
+    the intended structured way. *)
+
+type conv_nest = {
+  nc_co : int;  (** output channels *)
+  nc_ci : int;  (** input channels *)
+  nc_oh : int;
+  nc_ow : int;
+  nc_kh : int;
+  nc_kw : int;
+  nc_stride : int;
+  nc_groups : int;  (** baseline grouping (weight laid out [Co][Ci/G][Kh][Kw]) *)
+}
+
+val conv_nest_of_dims :
+  co:int -> ci:int -> oh:int -> ow:int -> k:int -> stride:int -> groups:int ->
+  conv_nest
+
+val domain : conv_nest -> (string * int) list
+(** The canonical iteration domain [co, ci, oh, ow, kh, kw] (for a baseline
+    grouped convolution the [co]/[ci] extents are still the full channel
+    counts; the baseline grouping is applied as a schedule construction,
+    see {!baseline_schedule}). *)
+
+val baseline_schedule : conv_nest -> Poly.t
+(** The identity schedule of the domain, with the baseline grouping already
+    applied when [nc_groups > 1]. *)
+
+type term = {
+  t_loop : int;  (** index into the program's loop list *)
+  t_div : int;
+  t_mod : int;  (** 0 means no modulus *)
+  t_mul : int;
+}
+(** One quasi-affine term: [((v / t_div) mod t_mod) * t_mul]. *)
+
+type index = { terms : term list; i_const : int }
+
+type lir_loop = {
+  ll_name : string;
+  ll_extent : int;
+  ll_unroll : int;
+  ll_vectorized : bool;
+  ll_bind : Poly.gpu_bind option;
+}
+
+type program = {
+  loops : lir_loop array;  (** outermost first *)
+  dst : index;  (** flat index into the output *)
+  acc_w : index;  (** flat index into the weights *)
+  acc_i : index;  (** flat index into the (padded) input *)
+  out_numel : int;
+  w_numel : int;
+  in_numel : int;
+  nest : conv_nest;
+  schedule : Poly.t;
+}
+
+val lower : conv_nest -> Poly.t -> program
+(** Lowers the convolution under the schedule.  The input is expected
+    pre-padded on each spatial border (its padded extent is
+    [(oh-1)*stride + kh]).  The effective channel
+    extents and total grouping are read off the schedule's domain and
+    neural log, so bottlenecked / grouped schedules lower to programs over
+    correspondingly smaller tensors.
+
+    @raise Poly.Illegal if the schedule does not cover the domain. *)
+
+val effective_groups : Poly.t -> conv_nest -> int
+(** Product of the grouping factors in the schedule's neural log (the
+    baseline grouping of the nest is included, since {!baseline_schedule}
+    applies it through the same mechanism). *)
+
+val run : program -> output:Tensor.t -> weight:Tensor.t -> input:Tensor.t -> unit
+(** Interprets the program, accumulating into [output] (callers zero it
+    first).  Tensor element counts must match the program's. *)
+
+val eval_index : index -> int array -> int
+(** Value of a quasi-affine index at the given loop values. *)
+
+val iter_accesses : program -> f:(out_idx:int -> w_idx:int -> in_idx:int -> unit) -> unit
+(** Enumerates the flat array indices touched by every dynamic instance of
+    the statement, in schedule order — the access trace consumed by the
+    cache simulator. *)
+
+val pp : Format.formatter -> program -> unit
+(** C-like rendering of the nest. *)
+
+val pad_input : Tensor.t -> pad:int -> Tensor.t
+(** Zero-pads a [C;H;W] tensor on both spatial borders. *)

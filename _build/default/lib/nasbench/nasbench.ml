@@ -1,0 +1,181 @@
+type op = None_op | Skip | Conv1x1 | Conv3x3 | Avg_pool3
+
+let op_name = function
+  | None_op -> "none"
+  | Skip -> "skip"
+  | Conv1x1 -> "conv1x1"
+  | Conv3x3 -> "conv3x3"
+  | Avg_pool3 -> "avgpool3"
+
+let all_ops = [ None_op; Skip; Conv1x1; Conv3x3; Avg_pool3 ]
+let op_of_code = [| None_op; Skip; Conv1x1; Conv3x3; Avg_pool3 |]
+
+let code_of_op = function
+  | None_op -> 0
+  | Skip -> 1
+  | Conv1x1 -> 2
+  | Conv3x3 -> 3
+  | Avg_pool3 -> 4
+
+type cell = op array
+
+let edges = 6
+let space_size = 5 * 5 * 5 * 5 * 5 * 5
+
+let of_index i =
+  assert (i >= 0 && i < space_size);
+  let cell = Array.make edges None_op in
+  let rem = ref i in
+  for e = 0 to edges - 1 do
+    cell.(e) <- op_of_code.(!rem mod 5);
+    rem := !rem / 5
+  done;
+  cell
+
+let to_index cell =
+  assert (Array.length cell = edges);
+  let idx = ref 0 in
+  for e = edges - 1 downto 0 do
+    idx := (!idx * 5) + code_of_op cell.(e)
+  done;
+  !idx
+
+let random_cell rng = of_index (Rng.int rng space_size)
+
+let pp_cell ppf cell =
+  let names = Array.to_list (Array.map op_name cell) in
+  Format.fprintf ppf "|%s|" (String.concat "|" names)
+
+type net = {
+  nb_graph : Graph.t;
+  nb_fisher_nodes : int array;
+  nb_cell : cell;
+}
+
+(* Edge order (src, dst) for the 4-node DAG. *)
+let edge_ends = [| (0, 1); (0, 2); (1, 2); (0, 3); (1, 3); (2, 3) |]
+
+(* One cell: node 0 is the input; nodes 1..3 sum their incoming edges. *)
+let add_cell b cell ~channels ~prefix input_node =
+  let node_acts = Array.make 4 input_node in
+  let fisher = ref [] in
+  for node = 1 to 3 do
+    let incoming = ref [] in
+    Array.iteri
+      (fun e (src, dst) ->
+        if dst = node then begin
+          let src_act = node_acts.(src) in
+          let label = Printf.sprintf "%s.e%d.%s" prefix e (op_name cell.(e)) in
+          let out =
+            match cell.(e) with
+            | None_op -> Builder.add b ~label Graph.Zero [ src_act ]
+            | Skip -> Builder.add b ~label Graph.Identity [ src_act ]
+            | Conv1x1 ->
+                let o =
+                  Builder.conv_bn_relu b ~label ~in_channels:channels
+                    ~out_channels:channels ~kernel:1 ~stride:1 src_act
+                in
+                fisher := o :: !fisher;
+                o
+            | Conv3x3 ->
+                let o =
+                  Builder.conv_bn_relu b ~label ~in_channels:channels
+                    ~out_channels:channels ~kernel:3 ~stride:1 src_act
+                in
+                fisher := o :: !fisher;
+                o
+            | Avg_pool3 ->
+                Builder.add b ~label
+                  (Graph.Avg_pool { size = 3; stride = 1; pad = 1 })
+                  [ src_act ]
+          in
+          incoming := out :: !incoming
+        end)
+      edge_ends;
+    node_acts.(node) <-
+      (match !incoming with
+      | [] -> node_acts.(0) (* fully disconnected node: pass the input through *)
+      | [ single ] -> single
+      | several ->
+          Builder.add b ~label:(Printf.sprintf "%s.n%d.sum" prefix node) Graph.Add
+            several)
+  done;
+  (node_acts.(3), List.rev !fisher)
+
+let instantiate ?(channels = 8) ?(input_size = 8) ?(num_classes = 10) rng cell =
+  let b = Builder.create rng in
+  let inp = Builder.input b in
+  let stem =
+    Builder.conv_bn_relu b ~label:"stem" ~in_channels:3 ~out_channels:channels
+      ~kernel:3 ~stride:1 inp
+  in
+  let fisher = ref [] in
+  let cur = ref stem in
+  let chans = ref channels in
+  for stage = 0 to 2 do
+    let out, cell_fisher =
+      add_cell b cell ~channels:!chans ~prefix:(Printf.sprintf "s%d" stage) !cur
+    in
+    fisher := !fisher @ cell_fisher;
+    cur := out;
+    if stage < 2 then begin
+      (* Reduction block: stride-2 convolution doubling the channels. *)
+      let red =
+        Builder.conv_bn_relu b
+          ~label:(Printf.sprintf "red%d" stage)
+          ~in_channels:!chans
+          ~out_channels:(2 * !chans)
+          ~kernel:3 ~stride:2 !cur
+      in
+      fisher := !fisher @ [ red ];
+      cur := red;
+      chans := 2 * !chans
+    end
+  done;
+  let gap = Builder.add b ~label:"gap" Graph.Global_avg_pool [ !cur ] in
+  let out = Builder.linear_layer b ~label:"fc" ~in_features:!chans ~out_features:num_classes gap in
+  ignore input_size;
+  { nb_graph = Builder.finish b ~output:out;
+    nb_fisher_nodes = Array.of_list !fisher;
+    nb_cell = cell }
+
+type record = {
+  r_index : int;
+  r_fisher : float;
+  r_error : float;
+  r_params : int;
+}
+
+let evaluate_cell ?(train_steps = 30) ~rng ~data ~probe index =
+  let cell = of_index index in
+  let net = instantiate (Rng.split rng) cell in
+  let fisher =
+    (Fisher.score_graph net.nb_graph ~fisher_nodes:net.nb_fisher_nodes probe)
+      .Fisher.total
+  in
+  let batch_rng = Rng.split rng in
+  let _ =
+    Train.train_graph net.nb_graph ~steps:train_steps
+      ~batch_fn:(fun step -> Synthetic_data.batch_fn batch_rng data ~batch_size:16 step)
+      ~base_lr:0.05
+  in
+  let val_batches =
+    List.filteri (fun i _ -> i < 4) (Synthetic_data.batches data ~batch_size:16)
+  in
+  let acc = Train.evaluate_graph net.nb_graph val_batches in
+  { r_index = index;
+    r_fisher = fisher;
+    r_error = 1.0 -. acc;
+    r_params = Graph.param_count net.nb_graph }
+
+let sample_space ?train_steps ~rng ~data ~probe ~n () =
+  let seen = Hashtbl.create n in
+  let records = ref [] in
+  while Hashtbl.length seen < n do
+    let index = Rng.int rng space_size in
+    if not (Hashtbl.mem seen index) then begin
+      Hashtbl.replace seen index ();
+      records := evaluate_cell ?train_steps ~rng ~data ~probe index :: !records
+    end
+  done;
+  List.rev !records

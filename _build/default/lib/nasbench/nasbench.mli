@@ -1,0 +1,62 @@
+(** A NAS-Bench-201-like cell space (Dong & Yang 2020), used by the
+    Figure 3 experiment.
+
+    A cell is a DAG on four nodes (A, B, C, D); each of the six forward
+    edges carries one of five operations, giving 5^6 = 15625 cells.  Cells
+    are instantiated into a small trainable network (stem, three stages
+    separated by reduction blocks, classifier) so that both the Fisher
+    Potential at initialization and a trained error can be computed
+    genuinely. *)
+
+type op = None_op | Skip | Conv1x1 | Conv3x3 | Avg_pool3
+
+val op_name : op -> string
+val all_ops : op list
+
+type cell = op array
+(** Length 6; edges in the order (0,1) (0,2) (1,2) (0,3) (1,3) (2,3). *)
+
+val space_size : int
+(** 15625. *)
+
+val of_index : int -> cell
+val to_index : cell -> int
+val random_cell : Rng.t -> cell
+val pp_cell : Format.formatter -> cell -> unit
+
+type net = {
+  nb_graph : Graph.t;
+  nb_fisher_nodes : int array;
+  nb_cell : cell;
+}
+
+val instantiate :
+  ?channels:int -> ?input_size:int -> ?num_classes:int -> Rng.t -> cell -> net
+(** Builds the cell network (defaults: 8 channels, 8x8 input, 10 classes). *)
+
+type record = {
+  r_index : int;
+  r_fisher : float;
+  r_error : float;  (** top-1 error in [0,1] after budgeted training *)
+  r_params : int;
+}
+
+val evaluate_cell :
+  ?train_steps:int ->
+  rng:Rng.t ->
+  data:Synthetic_data.t ->
+  probe:Train.batch ->
+  int ->
+  record
+(** Fisher Potential at initialization plus error after a short training
+    budget, for the indexed cell. *)
+
+val sample_space :
+  ?train_steps:int ->
+  rng:Rng.t ->
+  data:Synthetic_data.t ->
+  probe:Train.batch ->
+  n:int ->
+  unit ->
+  record list
+(** Evaluates [n] distinct random cells. *)

@@ -1,0 +1,1 @@
+lib/nn/builder.ml: Array Conv_impl Graph Hashtbl Int64 Layer List Rng

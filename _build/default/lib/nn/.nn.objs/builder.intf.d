@@ -1,0 +1,1 @@
+lib/nn/builder.mli: Conv_impl Graph Rng

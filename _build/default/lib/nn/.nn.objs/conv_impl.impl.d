@@ -1,0 +1,1 @@
+lib/nn/conv_impl.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Array Layer List Ops Option Printf Tensor

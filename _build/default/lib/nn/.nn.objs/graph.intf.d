@@ -1,0 +1,1 @@
+lib/nn/graph.mli: Layer Tensor

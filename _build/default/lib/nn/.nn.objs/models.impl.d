@@ -1,0 +1,1 @@
+lib/nn/models.ml: Array Builder Conv_impl Graph List Printf Rng

@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Graph List Models Ops Optimizer Tensor

@@ -1,0 +1,97 @@
+type t = {
+  mutable nodes_rev : Graph.node list;
+  mutable next_id : int;
+  mutable fisher_rev : int list;
+  base_seed : int;
+}
+
+let create rng =
+  { nodes_rev = [];
+    next_id = 0;
+    fisher_rev = [];
+    base_seed = Int64.to_int (Rng.bits64 rng) }
+
+(* Label-addressed weight generator: identical labels (and build seed) give
+   identical weights, so structural candidates share every common layer. *)
+let layer_rng t label = Rng.create (t.base_seed lxor Hashtbl.hash label)
+
+let add t ?(label = "") op inputs =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.nodes_rev <- { Graph.id; op; inputs; label } :: t.nodes_rev;
+  id
+
+let input t =
+  assert (t.next_id = 0);
+  add t ~label:"input" Graph.Input []
+
+let conv_bn_relu t ~label ~in_channels ~out_channels ~kernel ~stride ?pad
+    ?(groups = 1) ?(relu = true) src =
+  let pad = match pad with Some p -> p | None -> kernel / 2 in
+  let conv =
+    Layer.conv (layer_rng t label) ~name:label ~in_channels ~out_channels ~kernel
+      ~stride ~pad ~groups
+  in
+  let c = add t ~label (Graph.Conv conv) [ src ] in
+  let bn_layer = Layer.bn ~name:(label ^ ".bn") ~channels:out_channels in
+  let b = add t ~label:(label ^ ".bn") (Graph.Batch_norm bn_layer) [ c ] in
+  if relu then add t ~label:(label ^ ".relu") Graph.Relu [ b ] else b
+
+let linear_layer t ~label ~in_features ~out_features src =
+  let fc = Layer.linear (layer_rng t label) ~name:label ~in_features ~out_features in
+  add t ~label (Graph.Linear fc) [ src ]
+
+let mark_fisher t id = t.fisher_rev <- id :: t.fisher_rev
+
+let realize_site t (site : Conv_impl.site) impl src =
+  assert (Conv_impl.valid site impl);
+  let { Conv_impl.in_channels; out_channels; kernel; stride; groups; site_label; _ } =
+    site
+  in
+  let cbr = conv_bn_relu t in
+  let out =
+    match impl with
+    | Conv_impl.Full ->
+        cbr ~label:site_label ~in_channels ~out_channels ~kernel ~stride ~groups src
+    | Conv_impl.Grouped g ->
+        cbr ~label:site_label ~in_channels ~out_channels ~kernel ~stride ~groups:g src
+    | Conv_impl.Bottleneck b ->
+        let mid = out_channels / b in
+        let narrow =
+          cbr ~label:(site_label ^ ".narrow") ~in_channels ~out_channels:mid ~kernel
+            ~stride ~groups src
+        in
+        cbr ~label:(site_label ^ ".expand") ~in_channels:mid ~out_channels ~kernel:1
+          ~stride:1 narrow
+    | Conv_impl.Depthwise_separable ->
+        let dw =
+          cbr ~label:(site_label ^ ".dw") ~in_channels ~out_channels:in_channels
+            ~kernel ~stride ~groups:in_channels src
+        in
+        cbr ~label:(site_label ^ ".pw") ~in_channels ~out_channels ~kernel:1 ~stride:1
+          dw
+    | Conv_impl.Spatial_bottleneck b ->
+        let small =
+          cbr ~label:(site_label ^ ".spatial") ~in_channels ~out_channels ~kernel
+            ~stride:(stride * b) ~groups src
+        in
+        add t ~label:(site_label ^ ".upsample") (Graph.Upsample b) [ small ]
+    | Conv_impl.Split_grouped (g1, g2) ->
+        let half = out_channels / 2 in
+        let lo =
+          cbr ~label:(site_label ^ ".lo") ~in_channels ~out_channels:half ~kernel
+            ~stride ~groups:g1 src
+        in
+        let hi =
+          cbr ~label:(site_label ^ ".hi") ~in_channels ~out_channels:half ~kernel
+            ~stride ~groups:g2 src
+        in
+        add t ~label:(site_label ^ ".concat") Graph.Concat [ lo; hi ]
+  in
+  mark_fisher t out;
+  out
+
+let fisher_nodes t = List.rev t.fisher_rev
+
+let finish t ~output =
+  Graph.make (Array.of_list (List.rev t.nodes_rev)) ~output_id:output

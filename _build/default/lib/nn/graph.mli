@@ -1,0 +1,67 @@
+(** Computation graphs for feed-forward convolutional networks.
+
+    A graph is a topologically ordered array of nodes; node [i] may only read
+    from nodes with smaller ids, so forward is a single left-to-right sweep
+    and backward a single right-to-left sweep.  Activation gradients are kept
+    per node, which is exactly what the Fisher Potential pass consumes. *)
+
+type op =
+  | Input
+  | Conv of Layer.conv
+  | Batch_norm of Layer.bn
+  | Relu
+  | Max_pool of { size : int; stride : int; pad : int }
+  | Avg_pool of { size : int; stride : int; pad : int }
+  | Global_avg_pool
+  | Linear of Layer.linear
+  | Add  (** n-ary elementwise sum *)
+  | Concat  (** channel concatenation *)
+  | Identity
+  | Zero  (** shape-preserving zero map (NAS-bench "none" op) *)
+  | Upsample of int  (** nearest-neighbour spatial upsampling *)
+
+type node = {
+  id : int;
+  op : op;
+  inputs : int list;
+  label : string;
+}
+
+type t = private {
+  nodes : node array;
+  output_id : int;
+}
+
+val make : node array -> output_id:int -> t
+(** Validates topological ordering of the node array. *)
+
+type run
+(** State of one forward (and optionally backward) pass. *)
+
+val forward : t -> Tensor.t -> run
+(** Runs the graph on a batch (NCHW input tensor). *)
+
+val output : run -> Tensor.t
+(** Activation of the output node. *)
+
+val activation : run -> int -> Tensor.t
+(** Activation of an arbitrary node. *)
+
+val backward : t -> run -> loss_grad:Tensor.t -> unit
+(** Back-propagates a gradient of the loss w.r.t. the output node,
+    accumulating parameter gradients into their [p_grad] buffers and storing
+    per-node activation gradients in the run. *)
+
+val activation_grad : run -> int -> Tensor.t
+(** Gradient of the loss w.r.t. a node's activation.  Only valid after
+    {!backward}; raises [Invalid_argument] if the node received no
+    gradient. *)
+
+val params : t -> Layer.param list
+(** All trainable parameters, in node order. *)
+
+val param_count : t -> int
+val zero_grads : t -> unit
+
+val node_count : t -> int
+val node : t -> int -> node

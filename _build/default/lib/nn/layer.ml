@@ -1,0 +1,48 @@
+type param = { p_name : string; p_value : Tensor.t; p_grad : Tensor.t }
+
+let param p_name p_value =
+  { p_name; p_value; p_grad = Tensor.zeros (Tensor.shape p_value) }
+
+let zero_grad p = Tensor.fill_ p.p_grad 0.0
+
+type conv = {
+  cv_w : param;
+  cv_b : param option;
+  cv_stride : int;
+  cv_pad : int;
+  cv_groups : int;
+}
+
+let conv rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~groups =
+  assert (in_channels mod groups = 0 && out_channels mod groups = 0);
+  let cig = in_channels / groups in
+  let fan_in = cig * kernel * kernel in
+  let w = Tensor.kaiming rng [| out_channels; cig; kernel; kernel |] ~fan_in in
+  { cv_w = param (name ^ ".w") w;
+    cv_b = None;
+    cv_stride = stride;
+    cv_pad = pad;
+    cv_groups = groups }
+
+type bn = { bn_gamma : param; bn_beta : param; bn_eps : float }
+
+let bn ~name ~channels =
+  { bn_gamma = param (name ^ ".gamma") (Tensor.ones [| channels |]);
+    bn_beta = param (name ^ ".beta") (Tensor.zeros [| channels |]);
+    bn_eps = 1e-5 }
+
+type linear = { ln_w : param; ln_b : param }
+
+let linear rng ~name ~in_features ~out_features =
+  let w = Tensor.kaiming rng [| out_features; in_features |] ~fan_in:in_features in
+  { ln_w = param (name ^ ".w") w;
+    ln_b = param (name ^ ".b") (Tensor.zeros [| out_features |]) }
+
+let conv_param_count c =
+  Tensor.numel c.cv_w.p_value
+  + (match c.cv_b with None -> 0 | Some b -> Tensor.numel b.p_value)
+
+let bn_param_count b =
+  Tensor.numel b.bn_gamma.p_value + Tensor.numel b.bn_beta.p_value
+
+let linear_param_count l = Tensor.numel l.ln_w.p_value + Tensor.numel l.ln_b.p_value

@@ -1,0 +1,53 @@
+(** Trainable parameters and layer records used by {!Graph} nodes. *)
+
+type param = {
+  p_name : string;
+  p_value : Tensor.t;
+  p_grad : Tensor.t;
+}
+(** A trainable tensor with its gradient accumulator.  The tensors are fixed
+    objects whose contents are mutated by the optimizer / backward pass. *)
+
+val param : string -> Tensor.t -> param
+(** Wraps a freshly initialized value with a zero gradient buffer. *)
+
+val zero_grad : param -> unit
+
+type conv = {
+  cv_w : param;  (** OIHW weight, I = in_channels / groups *)
+  cv_b : param option;
+  cv_stride : int;
+  cv_pad : int;
+  cv_groups : int;
+}
+
+val conv :
+  Rng.t ->
+  name:string ->
+  in_channels:int ->
+  out_channels:int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  groups:int ->
+  conv
+(** Kaiming-initialized convolution without bias (batch norm follows it). *)
+
+type bn = {
+  bn_gamma : param;
+  bn_beta : param;
+  bn_eps : float;
+}
+
+val bn : name:string -> channels:int -> bn
+
+type linear = {
+  ln_w : param;
+  ln_b : param;
+}
+
+val linear : Rng.t -> name:string -> in_features:int -> out_features:int -> linear
+
+val conv_param_count : conv -> int
+val bn_param_count : bn -> int
+val linear_param_count : linear -> int

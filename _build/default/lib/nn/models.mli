@@ -1,0 +1,99 @@
+(** Model zoo: scaled-down but structurally faithful variants of the three
+    network families evaluated in the paper (ResNet, ResNeXt, DenseNet).
+
+    Every model carries the array of its transformable convolution
+    {!Conv_impl.site}s.  [build] materializes the computation graph for a
+    given per-site implementation assignment; the default assignment is the
+    original network ([Full] everywhere). *)
+
+type config =
+  | Resnet of {
+      name : string;
+      blocks : int array;  (** residual blocks per stage *)
+      base_width : int;
+      input_size : int;
+      num_classes : int;
+      stem_stride : int;  (** 1 for CIFAR-style stems, 2 for ImageNet-style *)
+    }
+  | Resnext of {
+      name : string;
+      blocks_per_stage : int;
+      cardinality : int;
+      base_width : int;
+      input_size : int;
+      num_classes : int;
+    }
+  | Densenet of {
+      name : string;
+      blocks : int array;  (** dense layers per dense block *)
+      growth : int;
+      input_size : int;
+      num_classes : int;
+    }
+
+val config_name : config -> string
+
+type t = {
+  config : config;
+  name : string;
+  graph : Graph.t;
+  sites : Conv_impl.site array;
+  impls : Conv_impl.t array;
+  fisher_node_ids : int array;
+  fixed_workloads : Conv_impl.workload list;
+      (** non-transformable convolutions (stem, shortcuts, reductions,
+          transitions) plus the classifier, for cost accounting *)
+  num_classes : int;
+  input_size : int;
+  input_channels : int;
+  cost_mult_c : int;
+      (** channel multiplier mapping the scaled model back to the original
+          network's dimensions, used for hardware-cost accounting *)
+  cost_mult_s : int;  (** spatial multiplier, same purpose *)
+}
+
+val build : ?impls:Conv_impl.t array -> config -> Rng.t -> t
+(** Builds the graph.  [impls], when given, must have one entry per site and
+    each entry must be valid for its site. *)
+
+val rebuild : t -> Rng.t -> Conv_impl.t array -> t
+(** Same configuration with a different implementation assignment (fresh
+    initialization, as the paper searches at initialization). *)
+
+val site_count : config -> int
+
+val forward_logits : t -> Tensor.t -> Tensor.t
+
+val total_macs : t -> int
+(** MACs of one inference at batch 1 under the current assignment. *)
+
+val conv_params : t -> int
+(** Convolution + classifier weight count under the current assignment. *)
+
+val all_workloads : t -> Conv_impl.workload list
+(** Fixed workloads plus the expansion of every site, in network order. *)
+
+val scale_site : t -> Conv_impl.site -> Conv_impl.site
+(** The site at the original (paper-scale) network dimensions: channels
+    multiplied by [cost_mult_c], spatial extent by [cost_mult_s]. *)
+
+val cost_workloads : t -> Conv_impl.workload list
+(** Like {!all_workloads} but at paper-scale dimensions.  Training and the
+    Fisher pass run on the scaled network; hardware-cost accounting uses
+    these full-size convolutions so that cache pressure and arithmetic
+    intensity match the real workloads. *)
+
+(** {2 Presets} *)
+
+(** Presets use a [scale] knob: [`Search] is the default size used by the
+    performance experiments (Fisher + cost model only), [`Train] is smaller
+    so that full SGD training stays cheap, and [`Imagenet] is the larger
+    input / more classes variant used by the Figure 8 experiments. *)
+type scale = [ `Search | `Train | `Imagenet ]
+
+val resnet18 : ?scale:scale -> unit -> config
+val resnet34 : ?scale:scale -> unit -> config
+val resnext29 : ?scale:scale -> unit -> config
+val densenet161 : ?scale:scale -> unit -> config
+val densenet169 : ?scale:scale -> unit -> config
+val densenet201 : ?scale:scale -> unit -> config

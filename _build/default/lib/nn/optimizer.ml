@@ -1,0 +1,35 @@
+type slot = { p : Layer.param; velocity : Tensor.t }
+
+type t = {
+  slots : slot list;
+  momentum : float;
+  weight_decay : float;
+  mutable current_lr : float;
+}
+
+let sgd ?(momentum = 0.9) ?(weight_decay = 0.0) ~lr params =
+  let slots =
+    List.map (fun p -> { p; velocity = Tensor.zeros (Tensor.shape p.Layer.p_value) })
+      params
+  in
+  { slots; momentum; weight_decay; current_lr = lr }
+
+let set_lr t lr = t.current_lr <- lr
+let lr t = t.current_lr
+
+let step t =
+  List.iter
+    (fun { p; velocity } ->
+      let v = Tensor.data velocity in
+      let g = Tensor.data p.Layer.p_grad in
+      let w = Tensor.data p.p_value in
+      for i = 0 to Array.length v - 1 do
+        let grad = g.(i) +. (t.weight_decay *. w.(i)) in
+        v.(i) <- (t.momentum *. v.(i)) +. grad;
+        w.(i) <- w.(i) -. (t.current_lr *. v.(i))
+      done)
+    t.slots
+
+let decay_schedule ~milestones ~gamma ~base_lr step =
+  let passed = List.length (List.filter (fun m -> step >= m) milestones) in
+  base_lr *. (gamma ** float_of_int passed)

@@ -1,0 +1,18 @@
+(** SGD with momentum, weight decay and a step-decay schedule — the training
+    recipe from §6.1 of the paper, scaled down. *)
+
+type t
+
+val sgd :
+  ?momentum:float -> ?weight_decay:float -> lr:float -> Layer.param list -> t
+
+val set_lr : t -> float -> unit
+val lr : t -> float
+
+val step : t -> unit
+(** Applies one update from the accumulated gradients, then leaves the
+    gradients untouched (call {!Graph.zero_grads} before the next pass). *)
+
+val decay_schedule : milestones:int list -> gamma:float -> base_lr:float -> int -> float
+(** [decay_schedule ~milestones ~gamma ~base_lr step] is the learning rate at
+    [step]: [base_lr] multiplied by [gamma] for every milestone passed. *)

@@ -1,0 +1,87 @@
+type batch = { images : Tensor.t; labels : int array }
+
+let forward_backward_graph graph batch =
+  let run = Graph.forward graph batch.images in
+  let logits = Graph.output run in
+  let loss, grad = Ops.softmax_cross_entropy ~logits ~labels:batch.labels in
+  Graph.backward graph run ~loss_grad:grad;
+  (run, loss)
+
+let forward_backward model batch = forward_backward_graph model.Models.graph batch
+
+type report = { final_loss : float; steps_run : int }
+
+let default_schedule ~steps ~base_lr step =
+  let milestones =
+    [ int_of_float (0.3 *. float_of_int steps);
+      int_of_float (0.6 *. float_of_int steps);
+      int_of_float (0.8 *. float_of_int steps) ]
+  in
+  Optimizer.decay_schedule ~milestones ~gamma:0.1 ~base_lr step
+
+let train_graph ?(momentum = 0.9) ?(weight_decay = 5e-4) ?lr_schedule ?log graph
+    ~steps ~batch_fn ~base_lr =
+  let schedule =
+    match lr_schedule with
+    | Some f -> f
+    | None -> default_schedule ~steps ~base_lr
+  in
+  let opt = Optimizer.sgd ~momentum ~weight_decay ~lr:base_lr (Graph.params graph) in
+  let last_loss = ref 0.0 in
+  for step = 0 to steps - 1 do
+    Graph.zero_grads graph;
+    let batch = batch_fn step in
+    let _, loss = forward_backward_graph graph batch in
+    Optimizer.set_lr opt (schedule step);
+    Optimizer.step opt;
+    last_loss := loss;
+    match log with None -> () | Some f -> f step loss
+  done;
+  { final_loss = !last_loss; steps_run = steps }
+
+let train ?momentum ?weight_decay ?lr_schedule ?log model ~steps ~batch_fn ~base_lr =
+  train_graph ?momentum ?weight_decay ?lr_schedule ?log model.Models.graph ~steps
+    ~batch_fn ~base_lr
+
+let evaluate_graph graph batches =
+  match batches with
+  | [] -> 0.0
+  | _ ->
+      let total = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun b ->
+          let run = Graph.forward graph b.images in
+          let logits = Graph.output run in
+          let n = Array.length b.labels in
+          total := !total +. (Ops.accuracy ~logits ~labels:b.labels *. float_of_int n);
+          count := !count + n)
+        batches;
+      !total /. float_of_int !count
+
+let evaluate model batches =
+  match batches with
+  | [] -> 0.0
+  | _ ->
+      let total = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun b ->
+          let logits = Models.forward_logits model b.images in
+          let n = Array.length b.labels in
+          total := !total +. (Ops.accuracy ~logits ~labels:b.labels *. float_of_int n);
+          count := !count + n)
+        batches;
+      !total /. float_of_int !count
+
+let evaluate_loss model batches =
+  match batches with
+  | [] -> 0.0
+  | _ ->
+      let total = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun b ->
+          let logits = Models.forward_logits model b.images in
+          let loss, _ = Ops.softmax_cross_entropy ~logits ~labels:b.labels in
+          total := !total +. (loss *. float_of_int (Array.length b.labels));
+          count := !count + Array.length b.labels)
+        batches;
+      !total /. float_of_int !count

@@ -1,0 +1,54 @@
+(** Training and evaluation loops. *)
+
+type batch = {
+  images : Tensor.t;  (** NCHW *)
+  labels : int array;
+}
+
+val forward_backward_graph : Graph.t -> batch -> Graph.run * float
+(** Graph-level variant, used by networks outside the model zoo (e.g. the
+    NAS-bench cells). *)
+
+val forward_backward : Models.t -> batch -> Graph.run * float
+(** One forward and backward pass, accumulating parameter gradients;
+    returns the run (with per-node activation gradients, as needed by the
+    Fisher pass) and the batch loss. *)
+
+type report = {
+  final_loss : float;
+  steps_run : int;
+}
+
+val train_graph :
+  ?momentum:float ->
+  ?weight_decay:float ->
+  ?lr_schedule:(int -> float) ->
+  ?log:(int -> float -> unit) ->
+  Graph.t ->
+  steps:int ->
+  batch_fn:(int -> batch) ->
+  base_lr:float ->
+  report
+(** Graph-level training loop. *)
+
+val train :
+  ?momentum:float ->
+  ?weight_decay:float ->
+  ?lr_schedule:(int -> float) ->
+  ?log:(int -> float -> unit) ->
+  Models.t ->
+  steps:int ->
+  batch_fn:(int -> batch) ->
+  base_lr:float ->
+  report
+(** SGD training for [steps] minibatches drawn from [batch_fn].  The default
+    schedule is the paper's step decay (x0.1 at 30%, 60%, 80% of the run). *)
+
+val evaluate_graph : Graph.t -> batch list -> float
+(** Graph-level top-1 accuracy. *)
+
+val evaluate : Models.t -> batch list -> float
+(** Mean top-1 accuracy over the batches. *)
+
+val evaluate_loss : Models.t -> batch list -> float
+(** Mean cross-entropy over the batches (no gradient accumulation). *)

@@ -1,0 +1,1 @@
+lib/npte/pipeline.ml: Array Autotune Conv_impl Cost_model Device Hashtbl List Loop_nest Models Printf Site_plan

@@ -1,0 +1,1 @@
+lib/npte/pipeline.mli: Autotune Conv_impl Device Models Site_plan

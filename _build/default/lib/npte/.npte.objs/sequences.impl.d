@@ -1,0 +1,1 @@
+lib/npte/sequences.ml: Array Autotune Conv_impl List Loop_nest Poly Printf Site_plan

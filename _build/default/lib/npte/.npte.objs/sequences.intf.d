@@ -1,0 +1,1 @@
+lib/npte/sequences.mli: Conv_impl Loop_nest Poly Site_plan

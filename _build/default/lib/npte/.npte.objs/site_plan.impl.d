@@ -1,0 +1,1 @@
+lib/npte/site_plan.ml: Autotune Conv_impl Format

@@ -1,0 +1,1 @@
+lib/npte/site_plan.mli: Autotune Conv_impl Format

@@ -1,0 +1,1 @@
+lib/npte/table1.ml: Format List Loop_nest Option Poly String

@@ -1,0 +1,1 @@
+lib/npte/table1.mli: Format

@@ -1,0 +1,107 @@
+type site_eval = {
+  se_site : Conv_impl.site;
+  se_plan : Site_plan.t;
+  se_cost_s : float;
+}
+
+type evaluated = {
+  ev_latency_s : float;
+  ev_macs : int;
+  ev_params : int;
+  ev_sites : site_eval array;
+  ev_fixed_cost_s : float;
+}
+
+let cache : (string, float) Hashtbl.t = Hashtbl.create 1024
+let clear_cache () = Hashtbl.reset cache
+
+let hints_key (h : Autotune.hints) =
+  Printf.sprintf "u%s.s%s"
+    (match h.Autotune.h_unroll_co with None -> "-" | Some f -> string_of_int f)
+    (match h.h_spatial_split with None -> "-" | Some f -> string_of_int f)
+
+let workload_key dev (w : Conv_impl.workload) hints =
+  Printf.sprintf "%s|%d.%d.%d.%d.%d.%d|%s" dev.Device.short_name
+    w.Conv_impl.w_in_channels w.w_out_channels w.w_kernel w.w_stride w.w_groups
+    w.w_spatial (hints_key hints)
+
+let workload_cost ?(hints = Autotune.no_hints) dev w =
+  let key = workload_key dev w hints in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let out_sp = Conv_impl.workload_out_spatial w in
+      let nest =
+        Loop_nest.conv_nest_of_dims ~co:w.Conv_impl.w_out_channels
+          ~ci:w.w_in_channels ~oh:out_sp ~ow:out_sp ~k:w.w_kernel ~stride:w.w_stride
+          ~groups:w.w_groups
+      in
+      let _, breakdown = Autotune.tune ~hints dev nest in
+      let elems = w.w_out_channels * out_sp * out_sp in
+      let cost = breakdown.Cost_model.total_s +. Cost_model.elementwise_time dev ~elems in
+      Hashtbl.replace cache key cost;
+      cost
+
+let site_cost dev site (plan : Site_plan.t) =
+  if not (Site_plan.valid site plan) then
+    invalid_arg
+      (Printf.sprintf "site_cost: plan %s invalid for %s" plan.Site_plan.sp_name
+         site.Conv_impl.site_label);
+  List.fold_left
+    (fun acc w -> acc +. workload_cost ~hints:plan.Site_plan.sp_hints dev w)
+    0.0
+    (Conv_impl.workloads site plan.Site_plan.sp_impl)
+
+let evaluate dev model ~plans =
+  let sites = model.Models.sites in
+  if Array.length plans <> Array.length sites then
+    invalid_arg "evaluate: one plan per site required";
+  let scaled = Array.map (Models.scale_site model) sites in
+  (* Paper-scale fixed workloads = the fixed prefix of cost_workloads. *)
+  let fixed_scaled =
+    let n_fixed = List.length model.Models.fixed_workloads in
+    List.filteri (fun i _ -> i < n_fixed) (Models.cost_workloads model)
+  in
+  let fixed_cost =
+    List.fold_left (fun acc w -> acc +. workload_cost dev w) 0.0 fixed_scaled
+  in
+  let site_evals =
+    Array.mapi
+      (fun i site ->
+        { se_site = site; se_plan = plans.(i); se_cost_s = site_cost dev site plans.(i) })
+      scaled
+  in
+  let latency =
+    fixed_cost +. Array.fold_left (fun acc se -> acc +. se.se_cost_s) 0.0 site_evals
+  in
+  let fixed_macs =
+    List.fold_left (fun acc w -> acc + Conv_impl.workload_macs w) 0 fixed_scaled
+  in
+  let fixed_params =
+    List.fold_left
+      (fun acc w ->
+        acc
+        + (w.Conv_impl.w_in_channels * w.w_out_channels * w.w_kernel * w.w_kernel
+          / w.w_groups))
+      0 fixed_scaled
+  in
+  let macs =
+    Array.fold_left
+      (fun acc se -> acc + Conv_impl.macs se.se_site se.se_plan.Site_plan.sp_impl)
+      fixed_macs site_evals
+  in
+  let params =
+    Array.fold_left
+      (fun acc se -> acc + Conv_impl.param_count se.se_site se.se_plan.Site_plan.sp_impl)
+      fixed_params site_evals
+  in
+  { ev_latency_s = latency;
+    ev_macs = macs;
+    ev_params = params;
+    ev_sites = site_evals;
+    ev_fixed_cost_s = fixed_cost }
+
+let baseline dev model =
+  evaluate dev model ~plans:(Array.map (fun _ -> Site_plan.baseline) model.Models.sites)
+
+let of_impls model = Array.map (fun impl -> Site_plan.make impl) model.Models.impls

@@ -1,0 +1,44 @@
+(** The unified compile pipeline: network + per-site plans -> predicted
+    hardware latency (and size/MAC accounting) on a device.
+
+    Every convolution workload of the (paper-scale) network is lowered to a
+    loop nest, the plan's schedule hints are applied, the autotuner sweeps
+    its parameter grid under the analytic cost model, and the best schedule's
+    latency is kept.  Results are memoized on workload dimensions, so
+    evaluating a thousand candidate networks stays cheap. *)
+
+type site_eval = {
+  se_site : Conv_impl.site;  (** paper-scale dimensions *)
+  se_plan : Site_plan.t;
+  se_cost_s : float;
+}
+
+type evaluated = {
+  ev_latency_s : float;  (** whole-network latency, batch 1 *)
+  ev_macs : int;  (** paper-scale MACs under the plans *)
+  ev_params : int;  (** paper-scale convolution weights under the plans *)
+  ev_sites : site_eval array;
+  ev_fixed_cost_s : float;
+}
+
+val workload_cost :
+  ?hints:Autotune.hints -> Device.t -> Conv_impl.workload -> float
+(** Autotuned latency of one convolution plus its fused elementwise
+    (batch-norm + ReLU) pass.  Memoized. *)
+
+val site_cost : Device.t -> Conv_impl.site -> Site_plan.t -> float
+(** Cost of one (paper-scale) site under a plan: the sum over the plan's
+    realized convolutions. *)
+
+val evaluate : Device.t -> Models.t -> plans:Site_plan.t array -> evaluated
+(** Evaluate the model with one plan per transformable site. *)
+
+val baseline : Device.t -> Models.t -> evaluated
+(** [evaluate] with every site at {!Site_plan.baseline}. *)
+
+val of_impls : Models.t -> Site_plan.t array
+(** Plans matching the model's current implementation assignment (used to
+    cost a BlockSwap/FBNet-mutated model, which carries no schedule
+    hints). *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,74 @@
+type category =
+  | Program_transformation
+  | Neural_transformation
+  | Gpu_mapping
+
+type row = {
+  opt_name : string;
+  category : category;
+  description : string;
+}
+
+let rows =
+  [ { opt_name = "reorder"; category = Program_transformation;
+      description = "Interchange nested loops" };
+    { opt_name = "tile"; category = Program_transformation;
+      description = "Cache and register blocking" };
+    { opt_name = "unroll"; category = Program_transformation;
+      description = "Loop unrolling" };
+    { opt_name = "prefetch"; category = Program_transformation;
+      description = "Memory coalescing between threads" };
+    { opt_name = "split"; category = Program_transformation;
+      description = "Divide iteration into multiple axes" };
+    { opt_name = "fuse"; category = Program_transformation;
+      description = "Combine two axes into one" };
+    { opt_name = "bottleneck"; category = Neural_transformation;
+      description = "Reduce domain by factor B" };
+    { opt_name = "group"; category = Neural_transformation;
+      description = "Slice and offset two loops by factor G" };
+    { opt_name = "blockIdx"; category = Gpu_mapping;
+      description = "Block-wise parallelism" };
+    { opt_name = "threadIdx"; category = Gpu_mapping;
+      description = "Threads within blocks" };
+    { opt_name = "vthread"; category = Gpu_mapping;
+      description = "Striding thread access" } ]
+
+let category_name = function
+  | Program_transformation -> "Program Transformations"
+  | Neural_transformation -> "Neural Architecture Transformations"
+  | Gpu_mapping -> "Mapping to GPU"
+
+let demo_nest =
+  Loop_nest.conv_nest_of_dims ~co:8 ~ci:8 ~oh:8 ~ow:8 ~k:3 ~stride:1 ~groups:1
+
+let demonstrate row =
+  let base = Loop_nest.baseline_schedule demo_nest in
+  let transformed =
+    match row.opt_name with
+    | "reorder" -> Some (Poly.interchange base 0 1)
+    | "tile" -> Some (Poly.tile base ~pos:3 ~factor:4)
+    | "unroll" -> Some (Poly.unroll base ~pos:5 ~factor:3)
+    | "split" -> Some (Poly.split base ~pos:1 ~factor:4)
+    | "fuse" -> Some (Poly.fuse base ~pos:2)
+    | "prefetch" -> Some (Poly.prefetch base ~pos:4)
+    | "bottleneck" -> Some (Poly.bottleneck base ~iter:"co" ~factor:2)
+    | "group" -> Some (Poly.group base ~co:"co" ~ci:"ci" ~factor:4)
+    | "blockIdx" -> Some (Poly.bind base ~pos:0 Poly.Block_x)
+    | "threadIdx" -> Some (Poly.bind base ~pos:2 Poly.Thread_x)
+    | "vthread" -> Some (Poly.bind base ~pos:3 Poly.Vthread)
+    | _ -> None
+  in
+  Option.map
+    (fun s ->
+      Format.asprintf "@[<v>%a@]" Loop_nest.pp (Loop_nest.lower demo_nest s))
+    transformed
+
+let pp_table ppf () =
+  Format.fprintf ppf "@[<v>%-12s | %-36s | %s@," "Optimization" "Category" "Description";
+  Format.fprintf ppf "%s@," (String.make 100 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s | %-36s | %s@," r.opt_name (category_name r.category)
+        r.description)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** Table 1: the autotuning primitives of the unified space. *)
+
+type category =
+  | Program_transformation
+  | Neural_transformation
+  | Gpu_mapping
+
+type row = {
+  opt_name : string;
+  category : category;
+  description : string;
+}
+
+val rows : row list
+(** The table's rows, in the paper's order. *)
+
+val category_name : category -> string
+
+val demonstrate : row -> string option
+(** A rendered before/after loop-nest demonstration of the primitive on a
+    small convolution, where one applies ([None] for pure annotations that
+    do not change the printed nest). *)
+
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/poly/poly_legality.mli: Poly

@@ -1,0 +1,140 @@
+(** A compact polyhedral schedule representation for constant-bound loop
+    nests (§4 of the paper).
+
+    The {b domain} is a list of named iterators with constant extents.  The
+    {b schedule} is an ordered list of loops; each loop enumerates one or
+    more {e digits}.  A digit carries contributions [(iterator, weight)]: the
+    value of a domain iterator is the weighted sum of its digits' values.
+    This mixed-radix view expresses the classical transformations exactly:
+
+    - {e interchange / reorder} permute loops;
+    - {e split (strip-mine)} replaces a digit of weight [w] and extent [n]
+      with an outer digit of weight [w*f] (extent [n/f]) and an inner digit
+      of weight [w] (extent [f]);
+    - {e fuse} concatenates the digit lists of two adjacent loops;
+    - {e tile} is split followed by interchange;
+    - {e unroll / vectorize / GPU binding} are per-loop annotations.
+
+    The paper's neural transformations extend the same algebra:
+
+    - {e bottleneck} shrinks the extent of an iterator's leading digit
+      (a domain restriction, §5.1);
+    - {e group} tiles two iterators by a common factor [G] and keeps a
+      single shared slice digit contributing to both (§5.1), which is why a
+      [contrib] list can mention two iterators;
+    - {e depthwise} is grouping with [G = C_o = C_i].
+
+    Neural transformations are flagged in [neural_log]: they do not preserve
+    program semantics and their legality is delegated to the Fisher
+    Potential check. *)
+
+type gpu_bind = Block_x | Block_y | Thread_x | Thread_y | Vthread
+
+val gpu_bind_to_string : gpu_bind -> string
+
+type contrib = {
+  src : string;  (** domain iterator *)
+  weight : int;
+}
+
+type digit = {
+  contribs : contrib list;
+  extent : int;
+}
+
+type loop = {
+  digits : digit list;  (** outermost digit first (mixed radix) *)
+  unroll : int;  (** 1 = no unrolling *)
+  vectorized : bool;
+  prefetched : bool;  (** software-prefetch annotation (Table 1) *)
+  parallelized : bool;  (** explicit CPU-thread parallel annotation *)
+  bind : gpu_bind option;
+}
+
+type neural_op =
+  | N_bottleneck of { iter : string; factor : int }
+  | N_group of { factor : int }
+  | N_depthwise of { factor : int }
+
+type t = {
+  domain : (string * int) list;
+      (** iterator extents after neural transformations *)
+  loops : loop list;  (** outermost first *)
+  neural_log : neural_op list;  (** applied neural transformations, in order *)
+}
+
+exception Illegal of string
+(** Raised when a transformation's side conditions fail (divisibility,
+    fused-loop splitting, unknown iterator...). *)
+
+val of_domain : (string * int) list -> t
+(** Identity schedule: one single-digit loop per iterator, in domain order. *)
+
+val loop_count : t -> int
+val loop_extent : loop -> int
+(** Product of the digit extents. *)
+
+val points : t -> int
+(** Total number of statement instances the schedule enumerates. *)
+
+val iter_extent : t -> string -> int
+
+(** {2 Classical (semantics-preserving) transformations} *)
+
+val interchange : t -> int -> int -> t
+(** Swap the loops at two positions. *)
+
+val reorder : t -> int array -> t
+(** Apply a permutation to the loop list. *)
+
+val split : t -> pos:int -> factor:int -> t
+(** Strip-mine the single-digit loop at [pos]; the factor must divide its
+    extent.  The new outer loop stays at [pos], the inner at [pos+1]. *)
+
+val fuse : t -> pos:int -> t
+(** Fuse the loops at [pos] and [pos+1] into one. *)
+
+val tile : t -> pos:int -> factor:int -> t
+(** Split at [pos] and sink the inner loop to the innermost position. *)
+
+val unroll : t -> pos:int -> factor:int -> t
+val vectorize : t -> pos:int -> t
+
+val prefetch : t -> pos:int -> t
+(** Annotates the loop with software prefetching of its streamed operands
+    (Table 1's [prefetch] primitive); rewarded by the cost model with a
+    higher effective-bandwidth fraction. *)
+
+val parallelize : t -> pos:int -> t
+(** Marks the loop as explicitly multi-threaded; the cost model treats it
+    as the head of the parallel prefix regardless of position. *)
+
+val bind : t -> pos:int -> gpu_bind -> t
+
+(** {2 Neural (capacity-preserving) transformations} *)
+
+val bottleneck : t -> iter:string -> factor:int -> t
+(** Shrink iterator [iter] by [factor] (must divide the leading digit's
+    extent). *)
+
+val group : t -> co:string -> ci:string -> factor:int -> t
+(** Joint tiling of [co] and [ci] by [factor] keeping the shared slice
+    digit.  Both iterators must currently be whole (un-split) loops. *)
+
+val depthwise : t -> co:string -> ci:string -> t
+(** Grouping with [G = extent co = extent ci]; requires equal extents. *)
+
+val is_semantics_preserving : t -> bool
+(** True iff no neural transformation has been applied. *)
+
+(** {2 Decoding} *)
+
+val decode : t -> int array -> (string * int) list
+(** [decode t loop_values] maps one point of the loop space (one value per
+    loop, outermost first) to domain-iterator values. *)
+
+val loop_names : t -> string array
+(** Synthesized printable names, e.g. ["co.o"; "co.i"; "g"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable schedule, in a TVM-like notation. *)

@@ -1,0 +1,184 @@
+type dependence = {
+  distance : (string * int) list;
+  dep_label : string;
+}
+
+let reduction_dependences iters =
+  List.map
+    (fun it -> { distance = [ (it, 1) ]; dep_label = "reduction over " ^ it })
+    iters
+
+(* A reference to one digit occurrence: loop index, digit index within the
+   loop, and the digit itself. *)
+let digit_refs (t : Poly.t) =
+  List.concat
+    (List.mapi
+       (fun li (l : Poly.loop) ->
+         List.mapi (fun di d -> (li, di, d)) l.Poly.digits)
+       t.Poly.loops)
+
+let encode t point =
+  let refs = digit_refs t in
+  let value name =
+    match List.assoc_opt name point with
+    | Some v -> v
+    | None -> invalid_arg ("encode: missing iterator " ^ name)
+  in
+  (* dv.(li).(di) = decoded digit value, or -1 if not yet assigned. *)
+  let loops = Array.of_list t.Poly.loops in
+  let dv = Array.map (fun (l : Poly.loop) -> Array.make (List.length l.digits) (-1)) loops in
+  let consistent = ref true in
+  List.iter
+    (fun (name, _extent) ->
+      if !consistent then begin
+        (* Digits of this iterator, most significant first. *)
+        let mine =
+          List.filter_map
+            (fun (li, di, (d : Poly.digit)) ->
+              match List.find_opt (fun c -> c.Poly.src = name) d.contribs with
+              | Some c -> Some (li, di, d, c.Poly.weight)
+              | None -> None)
+            refs
+          |> List.sort (fun (_, _, _, w1) (_, _, _, w2) -> compare w2 w1)
+        in
+        let remaining = ref (value name) in
+        List.iter
+          (fun (li, di, (d : Poly.digit), w) ->
+            if !consistent then begin
+              if d.extent = 1 then
+                (* Degenerate digit: its value is always 0 and it must not
+                   absorb weight that belongs to an equal-weight live digit. *)
+                (if dv.(li).(di) < 0 then dv.(li).(di) <- 0)
+              else begin
+              let assigned = dv.(li).(di) in
+              if assigned >= 0 then begin
+                (* Shared (group) digit: its value must agree. *)
+                if !remaining / w <> assigned then consistent := false
+                else remaining := !remaining - (assigned * w)
+              end
+              else begin
+                let v = !remaining / w in
+                if v >= d.extent then consistent := false
+                else begin
+                  dv.(li).(di) <- v;
+                  remaining := !remaining - (v * w)
+                end
+              end
+              end
+            end)
+          mine;
+        if !remaining <> 0 then consistent := false
+      end)
+    t.Poly.domain;
+  if not !consistent then None
+  else begin
+    (* Compose each loop's digit values mixed-radix. *)
+    let values =
+      Array.mapi
+        (fun li (l : Poly.loop) ->
+          let v = ref 0 in
+          List.iteri
+            (fun di (d : Poly.digit) ->
+              let x = dv.(li).(di) in
+              let x = if x < 0 then 0 else x in
+              v := (!v * d.extent) + x)
+            l.digits;
+          !v)
+        loops
+    in
+    Some values
+  end
+
+let lex_compare a b =
+  let n = Array.length a in
+  let rec go i = if i = n then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i + 1) in
+  go 0
+
+(* Candidate values for an iterator: boundaries of the whole range, plus +-1
+   around every digit-weight multiple boundary reachable in the range.
+   Splits only change execution order at strip boundaries, so these points
+   witness every possible violation for constant-distance dependences. *)
+let candidate_values t name extent =
+  let weights =
+    List.concat_map
+      (fun (_, _, (d : Poly.digit)) ->
+        List.filter_map
+          (fun c -> if c.Poly.src = name then Some c.Poly.weight else None)
+          d.contribs)
+      (digit_refs t)
+  in
+  let base = [ 0; 1; extent - 2; extent - 1 ] in
+  let around =
+    List.concat_map
+      (fun w -> if w <= 1 then [] else [ w - 2; w - 1; w; w + 1; (2 * w) - 1; 2 * w ])
+      weights
+  in
+  List.sort_uniq compare
+    (List.filter (fun v -> v >= 0 && v < extent) (base @ around))
+
+let enumerate_points t max_points =
+  let extents = List.map snd t.Poly.domain in
+  let total = List.fold_left ( * ) 1 extents in
+  let names = List.map fst t.Poly.domain in
+  if total <= max_points then begin
+    (* Exhaustive enumeration. *)
+    let acc = ref [] in
+    let rec go prefix = function
+      | [] -> acc := List.rev prefix :: !acc
+      | (name, extent) :: rest ->
+          for v = 0 to extent - 1 do
+            go ((name, v) :: prefix) rest
+          done
+    in
+    go [] t.Poly.domain;
+    ignore names;
+    !acc
+  end
+  else begin
+    let candidates =
+      List.map (fun (name, extent) -> (name, candidate_values t name extent)) t.Poly.domain
+    in
+    let acc = ref [] in
+    let rec go prefix = function
+      | [] -> acc := List.rev prefix :: !acc
+      | (name, values) :: rest ->
+          List.iter (fun v -> go ((name, v) :: prefix) rest) values
+    in
+    go [] candidates;
+    !acc
+  end
+
+let violations ?(max_points = 65536) t deps =
+  let points = enumerate_points t max_points in
+  let bad = ref [] in
+  List.iter
+    (fun point ->
+      match encode t point with
+      | None -> ()
+      | Some time ->
+          List.iter
+            (fun dep ->
+              let shifted =
+                List.map
+                  (fun (name, v) ->
+                    match List.assoc_opt name dep.distance with
+                    | Some d -> (name, v + d)
+                    | None -> (name, v))
+                  point
+              in
+              let in_domain =
+                List.for_all
+                  (fun (name, v) -> v >= 0 && v < Poly.iter_extent t name)
+                  shifted
+              in
+              if in_domain then
+                match encode t shifted with
+                | None -> ()
+                | Some time' ->
+                    if lex_compare time time' >= 0 then
+                      bad := (point, dep.dep_label) :: !bad)
+            deps)
+    points;
+  List.rev !bad
+
+let check ?max_points t deps = violations ?max_points t deps = []

@@ -1,0 +1,34 @@
+(** Dependence-based legality of schedules (§4.1).
+
+    A dependence is a constant distance vector over the domain iterators:
+    for every point [p] such that both [p] and [p + d] lie in the domain,
+    the schedule must execute [p] before [p + d] (lexicographically smaller
+    time vector).
+
+    For the constant-bound domains of tensor convolutions this condition is
+    decidable by direct evaluation; [check] verifies it exhaustively for
+    small domains and by deterministic stratified sampling beyond
+    [max_points] (boundary points of every digit are always included, since
+    splits only misbehave at strip boundaries). *)
+
+type dependence = {
+  distance : (string * int) list;  (** iterators not listed have distance 0 *)
+  dep_label : string;
+}
+
+val reduction_dependences : string list -> dependence list
+(** One unit-distance dependence per reduction iterator — the accumulation
+    order constraint of a convolution's [+=] statement. *)
+
+val encode : Poly.t -> (string * int) list -> int array option
+(** Inverse of {!Poly.decode}: map a domain point to loop values.  [None]
+    when the point is not enumerated by the schedule (outside a bottlenecked
+    range, or inconsistent with a shared group digit). *)
+
+val check : ?max_points:int -> Poly.t -> dependence list -> bool
+(** True iff every sampled dependence pair is executed in order. *)
+
+val violations :
+  ?max_points:int -> Poly.t -> dependence list -> ((string * int) list * string) list
+(** The sampled points at which some dependence is violated (for tests and
+    diagnostics); empty iff {!check}. *)

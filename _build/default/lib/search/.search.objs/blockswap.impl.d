@@ -1,0 +1,1 @@
+lib/search/blockswap.ml: Array Conv_impl Fisher List Models Rng

@@ -1,0 +1,1 @@
+lib/search/blockswap.mli: Conv_impl Models Rng Train

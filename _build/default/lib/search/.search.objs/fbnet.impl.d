@@ -1,0 +1,1 @@
+lib/search/fbnet.ml: Array Blockswap Conv_impl List Models Pipeline Rng Site_plan Synthetic_data Train

@@ -1,0 +1,1 @@
+lib/search/fbnet.mli: Conv_impl Device Models Rng Synthetic_data

@@ -1,0 +1,1 @@
+lib/search/interpolate.ml: Array Conv_impl List Models Pareto Pipeline Rng Site_plan Stats Synthetic_data Train

@@ -1,0 +1,1 @@
+lib/search/interpolate.mli: Device Models Rng Synthetic_data

@@ -1,0 +1,1 @@
+lib/search/unified_search.ml: Array Conv_impl Fisher Float Hashtbl List Models Pipeline Rng Sequences Site_plan String Unix

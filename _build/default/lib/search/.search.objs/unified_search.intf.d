@@ -1,0 +1,1 @@
+lib/search/unified_search.mli: Device Models Pipeline Rng Site_plan Train

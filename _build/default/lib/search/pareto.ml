@@ -1,0 +1,17 @@
+type point = {
+  pt_name : string;
+  pt_latency_s : float;
+  pt_accuracy : float;
+}
+
+let dominates a b =
+  a.pt_latency_s <= b.pt_latency_s
+  && a.pt_accuracy >= b.pt_accuracy
+  && (a.pt_latency_s < b.pt_latency_s || a.pt_accuracy > b.pt_accuracy)
+
+let front points =
+  points
+  |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
+  |> List.sort (fun a b -> compare a.pt_latency_s b.pt_latency_s)
+
+let is_pareto_optimal p points = not (List.exists (fun q -> dominates q p) points)

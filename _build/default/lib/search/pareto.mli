@@ -1,0 +1,16 @@
+(** Pareto-front utilities for the accuracy/latency trade-off plots. *)
+
+type point = {
+  pt_name : string;
+  pt_latency_s : float;  (** lower is better *)
+  pt_accuracy : float;  (** higher is better *)
+}
+
+val dominates : point -> point -> bool
+(** [dominates a b] iff [a] is at least as good on both axes and strictly
+    better on one. *)
+
+val front : point list -> point list
+(** The non-dominated subset, sorted by latency. *)
+
+val is_pareto_optimal : point -> point list -> bool

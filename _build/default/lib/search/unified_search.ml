@@ -1,0 +1,197 @@
+type candidate = {
+  cd_plans : Site_plan.t array;
+  cd_fisher : float;
+  cd_latency_s : float;
+  cd_macs : int;
+  cd_params : int;
+}
+
+type result = {
+  r_best : candidate;
+  r_baseline : Pipeline.evaluated;
+  r_baseline_fisher : float;
+  r_explored : int;
+  r_rejected : int;
+  r_wall_s : float;
+}
+
+let random_plans rng model ~mutate_prob =
+  Array.map
+    (fun site ->
+      if Rng.uniform rng < mutate_prob then begin
+        match Sequences.standard_menu site with
+        | [] -> Site_plan.baseline
+        | menu -> Sequences.plan (Rng.choice_list rng menu)
+      end
+      else Site_plan.baseline)
+    model.Models.sites
+
+let plans_signature plans =
+  String.concat ";" (Array.to_list (Array.map (fun p -> p.Site_plan.sp_name) plans))
+
+(* One shared rebuild seed per search: candidates share the weights of every
+   layer they have in common with the reference network (label-addressed
+   initialization), so Fisher differences measure structure, not seed
+   noise. *)
+type fisher_oracle = {
+  fo_reference : Fisher.scores;
+  fo_seed : int;
+  fo_cache : (string, Fisher.scores) Hashtbl.t;
+}
+
+let make_oracle rng model probe =
+  let fo_seed = Rng.int rng 1_000_000_000 in
+  let full = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
+  let reference = Models.rebuild model (Rng.create fo_seed) full in
+  { fo_reference = Fisher.score reference probe;
+    fo_seed;
+    fo_cache = Hashtbl.create 256 }
+
+let oracle_scores oracle model probe plans =
+  let signature = plans_signature plans in
+  match Hashtbl.find_opt oracle.fo_cache signature with
+  | Some s -> s
+  | None ->
+      let impls = Array.map (fun p -> p.Site_plan.sp_impl) plans in
+      let candidate = Models.rebuild model (Rng.create oracle.fo_seed) impls in
+      let s = Fisher.score candidate probe in
+      Hashtbl.replace oracle.fo_cache signature s;
+      s
+
+(* Aggressiveness varies per candidate, so the pool spans mild touch-ups to
+   whole-network rewrites. *)
+let draw_mutate_prob rng base = Float.min 1.0 (base +. Rng.float rng 0.8)
+
+(* Directed seed candidates: each named sequence applied uniformly across
+   the network (with per-site fallback to baseline when invalid).  These
+   cover the corners a modest random pool can miss and subsume the
+   single-block NAS configurations. *)
+let uniform_candidates model =
+  let menu_union =
+    Array.fold_left
+      (fun acc site ->
+        List.fold_left
+          (fun acc seq ->
+            let name = Sequences.name seq in
+            if List.mem_assoc name acc then acc else (name, seq) :: acc)
+          acc (Sequences.standard_menu site))
+      [] model.Models.sites
+  in
+  List.map
+    (fun (_, seq) ->
+      Array.map
+        (fun site ->
+          if Sequences.valid site seq then Sequences.plan seq else Site_plan.baseline)
+        model.Models.sites)
+    menu_union
+
+let fallback_candidate model baseline baseline_fisher =
+  { cd_plans = Array.map (fun _ -> Site_plan.baseline) model.Models.sites;
+    cd_fisher = baseline_fisher;
+    cd_latency_s = baseline.Pipeline.ev_latency_s;
+    cd_macs = baseline.Pipeline.ev_macs;
+    cd_params = baseline.Pipeline.ev_params }
+
+let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng ~device
+    ~probe model =
+  let start = Unix.gettimeofday () in
+  let baseline = Pipeline.baseline device model in
+  let oracle = make_oracle rng model probe in
+  let baseline_fisher = oracle.fo_reference.Fisher.total in
+  let rejected = ref 0 in
+  let best = ref None in
+  let seeds = uniform_candidates model in
+  let n_random = max 0 (candidates - List.length seeds) in
+  let pool =
+    seeds
+    @ List.init n_random (fun _ ->
+          random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob))
+  in
+  List.iter
+    (fun plans ->
+      let scores = oracle_scores oracle model probe plans in
+      if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then begin
+        let ev = Pipeline.evaluate device model ~plans in
+        let cand =
+          { cd_plans = plans;
+            cd_fisher = scores.Fisher.total;
+            cd_latency_s = ev.Pipeline.ev_latency_s;
+            cd_macs = ev.ev_macs;
+            cd_params = ev.ev_params }
+        in
+        match !best with
+        | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+        | _ -> best := Some cand
+      end
+      else incr rejected)
+    pool;
+  let best =
+    match !best with
+    | Some b -> b
+    | None -> fallback_candidate model baseline baseline_fisher
+  in
+  { r_best = best;
+    r_baseline = baseline;
+    r_baseline_fisher = baseline_fisher;
+    r_explored = candidates;
+    r_rejected = !rejected;
+    r_wall_s = Unix.gettimeofday () -. start }
+
+let speedup r = r.r_baseline.Pipeline.ev_latency_s /. r.r_best.cd_latency_s
+
+let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
+    ~devices ~probe model =
+  let start = Unix.gettimeofday () in
+  let oracle = make_oracle rng model probe in
+  let baseline_fisher = oracle.fo_reference.Fisher.total in
+  (* Phase 1 (device-independent): generate the pool and Fisher-filter it. *)
+  let rejected = ref 0 in
+  let survivors = ref [] in
+  let seeds = uniform_candidates model in
+  let n_random = max 0 (candidates - List.length seeds) in
+  let pool =
+    seeds
+    @ List.init n_random (fun _ ->
+          random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob))
+  in
+  List.iter
+    (fun plans ->
+      let scores = oracle_scores oracle model probe plans in
+      if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then
+        survivors := (plans, scores.Fisher.total) :: !survivors
+      else incr rejected)
+    pool;
+  let wall_shared = Unix.gettimeofday () -. start in
+  (* Phase 2 (per device): rank the survivors with the cost model. *)
+  List.map
+    (fun device ->
+      let dev_start = Unix.gettimeofday () in
+      let baseline = Pipeline.baseline device model in
+      let best = ref None in
+      List.iter
+        (fun (plans, fisher) ->
+          let ev = Pipeline.evaluate device model ~plans in
+          let cand =
+            { cd_plans = plans;
+              cd_fisher = fisher;
+              cd_latency_s = ev.Pipeline.ev_latency_s;
+              cd_macs = ev.ev_macs;
+              cd_params = ev.ev_params }
+          in
+          match !best with
+          | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+          | _ -> best := Some cand)
+        !survivors;
+      let best =
+        match !best with
+        | Some b -> b
+        | None -> fallback_candidate model baseline baseline_fisher
+      in
+      ( device,
+        { r_best = best;
+          r_baseline = baseline;
+          r_baseline_fisher = baseline_fisher;
+          r_explored = candidates;
+          r_rejected = !rejected;
+          r_wall_s = wall_shared +. (Unix.gettimeofday () -. dev_start) } ))
+    devices

@@ -1,0 +1,56 @@
+(** The paper's unified search (§6): enumerate random interleaved
+    transformation sequences, reject capacity-damaging candidates with the
+    Fisher Potential legality check (no training), and rank the survivors
+    with the autotuned hardware cost model. *)
+
+type candidate = {
+  cd_plans : Site_plan.t array;
+  cd_fisher : float;
+  cd_latency_s : float;
+  cd_macs : int;
+  cd_params : int;
+}
+
+type result = {
+  r_best : candidate;
+  r_baseline : Pipeline.evaluated;
+  r_baseline_fisher : float;
+  r_explored : int;  (** configurations generated *)
+  r_rejected : int;  (** configurations rejected by the Fisher check *)
+  r_wall_s : float;  (** search wall-clock time *)
+}
+
+val random_plans :
+  Rng.t -> Models.t -> mutate_prob:float -> Site_plan.t array
+(** One candidate configuration: each site is left at baseline or assigned a
+    random valid sequence from {!Sequences.standard_menu} with probability
+    [mutate_prob]. *)
+
+val search :
+  ?candidates:int ->
+  ?mutate_prob:float ->
+  ?slack:float ->
+  rng:Rng.t ->
+  device:Device.t ->
+  probe:Train.batch ->
+  Models.t ->
+  result
+(** Runs the search (default 1000 candidates, as in §6).  [probe] is the
+    fixed minibatch used for every Fisher evaluation; [slack] is the Fisher
+    legality slack. *)
+
+val speedup : result -> float
+(** Baseline latency over best-candidate latency. *)
+
+val search_multi :
+  ?candidates:int ->
+  ?mutate_prob:float ->
+  ?slack:float ->
+  rng:Rng.t ->
+  devices:Device.t list ->
+  probe:Train.batch ->
+  Models.t ->
+  (Device.t * result) list
+(** Like {!search} for several devices at once: the candidate pool and its
+    Fisher evaluations (the expensive part) are shared; only the cost
+    ranking is per-device. *)

@@ -1,0 +1,570 @@
+type conv_params = { stride : int; pad : int; groups : int }
+
+let conv_out_dim d ~k ~stride ~pad = ((d + (2 * pad) - k) / stride) + 1
+
+(* The convolution kernels are the hot path of the whole project (training,
+   Fisher passes and NAS-bench evaluation all funnel through them), so they
+   use unsafe flat-array access with incrementally maintained offsets. *)
+
+let conv2d ~input ~weight ~bias params =
+  let ishape = Tensor.shape input and wshape = Tensor.shape weight in
+  let n = ishape.(0) and ci = ishape.(1) and h = ishape.(2) and w = ishape.(3) in
+  let co = wshape.(0) and cig = wshape.(1) and kh = wshape.(2) and kw = wshape.(3) in
+  let { stride; pad; groups } = params in
+  assert (ci mod groups = 0 && co mod groups = 0);
+  assert (cig = ci / groups);
+  let ho = conv_out_dim h ~k:kh ~stride ~pad in
+  let wo = conv_out_dim w ~k:kw ~stride ~pad in
+  assert (ho > 0 && wo > 0);
+  let output = Tensor.zeros [| n; co; ho; wo |] in
+  let id = Tensor.data input and wd = Tensor.data weight and od = Tensor.data output in
+  let cog = co / groups in
+  for ni = 0 to n - 1 do
+    for g = 0 to groups - 1 do
+      for cog_i = 0 to cog - 1 do
+        let co_i = (g * cog) + cog_i in
+        let wbase_co = co_i * cig * kh * kw in
+        let obase_co = ((ni * co) + co_i) * ho * wo in
+        for cig_i = 0 to cig - 1 do
+          let ci_i = (g * cig) + cig_i in
+          let ibase_ci = ((ni * ci) + ci_i) * h * w in
+          let wbase_ci = wbase_co + (cig_i * kh * kw) in
+          for khi = 0 to kh - 1 do
+            let wbase_kh = wbase_ci + (khi * kw) in
+            for kwi = 0 to kw - 1 do
+              let wv = Array.unsafe_get wd (wbase_kh + kwi) in
+              if wv <> 0.0 then
+                for hoi = 0 to ho - 1 do
+                  let hi = (hoi * stride) + khi - pad in
+                  if hi >= 0 && hi < h then begin
+                    let irow = ibase_ci + (hi * w) in
+                    let orow = obase_co + (hoi * wo) in
+                    for woi = 0 to wo - 1 do
+                      let wi = (woi * stride) + kwi - pad in
+                      if wi >= 0 && wi < w then
+                        Array.unsafe_set od (orow + woi)
+                          (Array.unsafe_get od (orow + woi)
+                          +. (Array.unsafe_get id (irow + wi) *. wv))
+                    done
+                  end
+                done
+            done
+          done
+        done
+      done
+    done
+  done;
+  (match bias with
+  | None -> ()
+  | Some b ->
+      let bd = Tensor.data b in
+      for ni = 0 to n - 1 do
+        for co_i = 0 to co - 1 do
+          let bv = bd.(co_i) in
+          if bv <> 0.0 then begin
+            let base = ((ni * co) + co_i) * ho * wo in
+            for i = 0 to (ho * wo) - 1 do
+              Array.unsafe_set od (base + i) (Array.unsafe_get od (base + i) +. bv)
+            done
+          end
+        done
+      done);
+  output
+
+let conv2d_backward ~input ~weight ~gout params =
+  let ishape = Tensor.shape input and wshape = Tensor.shape weight in
+  let n = ishape.(0) and ci = ishape.(1) and h = ishape.(2) and w = ishape.(3) in
+  let co = wshape.(0) and cig = wshape.(1) and kh = wshape.(2) and kw = wshape.(3) in
+  let { stride; pad; groups } = params in
+  let oshape = Tensor.shape gout in
+  let ho = oshape.(2) and wo = oshape.(3) in
+  let ginput = Tensor.zeros ishape in
+  let gweight = Tensor.zeros wshape in
+  let gbias = Tensor.zeros [| co |] in
+  let id = Tensor.data input
+  and wd = Tensor.data weight
+  and god = Tensor.data gout
+  and gid = Tensor.data ginput
+  and gwd = Tensor.data gweight
+  and gbd = Tensor.data gbias in
+  let cog = co / groups in
+  for ni = 0 to n - 1 do
+    for g = 0 to groups - 1 do
+      for cog_i = 0 to cog - 1 do
+        let co_i = (g * cog) + cog_i in
+        let wbase_co = co_i * cig * kh * kw in
+        let obase_co = ((ni * co) + co_i) * ho * wo in
+        (* Bias gradient: sum of gout over the spatial plane. *)
+        let bacc = ref 0.0 in
+        for i = 0 to (ho * wo) - 1 do
+          bacc := !bacc +. Array.unsafe_get god (obase_co + i)
+        done;
+        gbd.(co_i) <- gbd.(co_i) +. !bacc;
+        for cig_i = 0 to cig - 1 do
+          let ci_i = (g * cig) + cig_i in
+          let ibase_ci = ((ni * ci) + ci_i) * h * w in
+          let wbase_ci = wbase_co + (cig_i * kh * kw) in
+          for khi = 0 to kh - 1 do
+            let wbase_kh = wbase_ci + (khi * kw) in
+            for kwi = 0 to kw - 1 do
+              let widx = wbase_kh + kwi in
+              let wv = Array.unsafe_get wd widx in
+              let wacc = ref 0.0 in
+              for hoi = 0 to ho - 1 do
+                let hi = (hoi * stride) + khi - pad in
+                if hi >= 0 && hi < h then begin
+                  let irow = ibase_ci + (hi * w) in
+                  let orow = obase_co + (hoi * wo) in
+                  for woi = 0 to wo - 1 do
+                    let wi = (woi * stride) + kwi - pad in
+                    if wi >= 0 && wi < w then begin
+                      let gov = Array.unsafe_get god (orow + woi) in
+                      wacc := !wacc +. (gov *. Array.unsafe_get id (irow + wi));
+                      Array.unsafe_set gid (irow + wi)
+                        (Array.unsafe_get gid (irow + wi) +. (gov *. wv))
+                    end
+                  done
+                end
+              done;
+              Array.unsafe_set gwd widx (Array.unsafe_get gwd widx +. !wacc)
+            done
+          done
+        done
+      done
+    done
+  done;
+  (ginput, gweight, gbias)
+
+let relu t = Tensor.map (fun x -> if x > 0.0 then x else 0.0) t
+
+let relu_backward ~input ~gout =
+  Tensor.map2 (fun x g -> if x > 0.0 then g else 0.0) input gout
+
+let max_pool2d t ~size ~stride ~pad =
+  let s = Tensor.shape t in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let ho = conv_out_dim h ~k:size ~stride ~pad in
+  let wo = conv_out_dim w ~k:size ~stride ~pad in
+  let out = Tensor.zeros [| n; c; ho; wo |] in
+  let indices = Array.make (Tensor.numel out) (-1) in
+  let td = Tensor.data t and od = Tensor.data out in
+  let oi = ref 0 in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for hoi = 0 to ho - 1 do
+        for woi = 0 to wo - 1 do
+          let best = ref neg_infinity and best_idx = ref (-1) in
+          for dh = 0 to size - 1 do
+            let hi = (hoi * stride) + dh - pad in
+            if hi >= 0 && hi < h then
+              for dw = 0 to size - 1 do
+                let wi = (woi * stride) + dw - pad in
+                if wi >= 0 && wi < w then begin
+                  let idx = base + (hi * w) + wi in
+                  let v = Array.unsafe_get td idx in
+                  if v > !best then begin
+                    best := v;
+                    best_idx := idx
+                  end
+                end
+              done
+          done;
+          od.(!oi) <- (if !best_idx >= 0 then !best else 0.0);
+          indices.(!oi) <- !best_idx;
+          incr oi
+        done
+      done
+    done
+  done;
+  (out, indices)
+
+let max_pool2d_backward ~input ~gout ~indices =
+  let gin = Tensor.zeros (Tensor.shape input) in
+  let gd = Tensor.data gin and god = Tensor.data gout in
+  Array.iteri (fun oi idx -> if idx >= 0 then gd.(idx) <- gd.(idx) +. god.(oi)) indices;
+  gin
+
+let avg_pool2d t ~size ~stride ~pad =
+  let s = Tensor.shape t in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let ho = conv_out_dim h ~k:size ~stride ~pad in
+  let wo = conv_out_dim w ~k:size ~stride ~pad in
+  let out = Tensor.zeros [| n; c; ho; wo |] in
+  let td = Tensor.data t and od = Tensor.data out in
+  let inv = 1.0 /. float_of_int (size * size) in
+  let oi = ref 0 in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for hoi = 0 to ho - 1 do
+        for woi = 0 to wo - 1 do
+          let acc = ref 0.0 in
+          for dh = 0 to size - 1 do
+            let hi = (hoi * stride) + dh - pad in
+            if hi >= 0 && hi < h then
+              for dw = 0 to size - 1 do
+                let wi = (woi * stride) + dw - pad in
+                if wi >= 0 && wi < w then
+                  acc := !acc +. Array.unsafe_get td (base + (hi * w) + wi)
+              done
+          done;
+          od.(!oi) <- !acc *. inv;
+          incr oi
+        done
+      done
+    done
+  done;
+  out
+
+let avg_pool2d_backward ~input ~gout ~size ~stride ~pad =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let os = Tensor.shape gout in
+  let ho = os.(2) and wo = os.(3) in
+  let gin = Tensor.zeros s in
+  let gd = Tensor.data gin and god = Tensor.data gout in
+  let inv = 1.0 /. float_of_int (size * size) in
+  let oi = ref 0 in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for hoi = 0 to ho - 1 do
+        for woi = 0 to wo - 1 do
+          let g = god.(!oi) *. inv in
+          for dh = 0 to size - 1 do
+            let hi = (hoi * stride) + dh - pad in
+            if hi >= 0 && hi < h then
+              for dw = 0 to size - 1 do
+                let wi = (woi * stride) + dw - pad in
+                if wi >= 0 && wi < w then begin
+                  let idx = base + (hi * w) + wi in
+                  gd.(idx) <- gd.(idx) +. g
+                end
+              done
+          done;
+          incr oi
+        done
+      done
+    done
+  done;
+  gin
+
+let upsample_nearest t f =
+  assert (f >= 1);
+  let s = Tensor.shape t in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let out = Tensor.zeros [| n; c; h * f; w * f |] in
+  let td = Tensor.data t and od = Tensor.data out in
+  let wf = w * f in
+  for nc = 0 to (n * c) - 1 do
+    let ibase = nc * h * w and obase = nc * h * f * wf in
+    for ho = 0 to (h * f) - 1 do
+      let irow = ibase + (ho / f * w) and orow = obase + (ho * wf) in
+      for wo = 0 to wf - 1 do
+        Array.unsafe_set od (orow + wo) (Array.unsafe_get td (irow + (wo / f)))
+      done
+    done
+  done;
+  out
+
+let upsample_nearest_backward ~input ~gout f =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let gin = Tensor.zeros s in
+  let gd = Tensor.data gin and god = Tensor.data gout in
+  let wf = w * f in
+  for nc = 0 to (n * c) - 1 do
+    let ibase = nc * h * w and obase = nc * h * f * wf in
+    for ho = 0 to (h * f) - 1 do
+      let irow = ibase + (ho / f * w) and orow = obase + (ho * wf) in
+      for wo = 0 to wf - 1 do
+        let idx = irow + (wo / f) in
+        gd.(idx) <- gd.(idx) +. Array.unsafe_get god (orow + wo)
+      done
+    done
+  done;
+  gin
+
+let global_avg_pool t =
+  let s = Tensor.shape t in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let out = Tensor.zeros [| n; c |] in
+  let td = Tensor.data t and od = Tensor.data out in
+  let inv = 1.0 /. float_of_int (h * w) in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      let acc = ref 0.0 in
+      for i = 0 to (h * w) - 1 do
+        acc := !acc +. Array.unsafe_get td (base + i)
+      done;
+      od.((ni * c) + ci) <- !acc *. inv
+    done
+  done;
+  out
+
+let global_avg_pool_backward ~input ~gout =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let gin = Tensor.zeros s in
+  let gd = Tensor.data gin and god = Tensor.data gout in
+  let inv = 1.0 /. float_of_int (h * w) in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let g = god.((ni * c) + ci) *. inv in
+      let base = ((ni * c) + ci) * h * w in
+      for i = 0 to (h * w) - 1 do
+        gd.(base + i) <- g
+      done
+    done
+  done;
+  gin
+
+let linear ~input ~weight ~bias =
+  let is = Tensor.shape input and ws = Tensor.shape weight in
+  let n = is.(0) and f = is.(1) in
+  let out_dim = ws.(0) in
+  assert (ws.(1) = f);
+  let out = Tensor.zeros [| n; out_dim |] in
+  let id = Tensor.data input
+  and wd = Tensor.data weight
+  and bd = Tensor.data bias
+  and od = Tensor.data out in
+  for ni = 0 to n - 1 do
+    let ibase = ni * f in
+    for oi = 0 to out_dim - 1 do
+      let wbase = oi * f in
+      let acc = ref bd.(oi) in
+      for fi = 0 to f - 1 do
+        acc := !acc +. (Array.unsafe_get id (ibase + fi) *. Array.unsafe_get wd (wbase + fi))
+      done;
+      od.((ni * out_dim) + oi) <- !acc
+    done
+  done;
+  out
+
+let linear_backward ~input ~weight ~gout =
+  let is = Tensor.shape input and ws = Tensor.shape weight in
+  let n = is.(0) and f = is.(1) in
+  let out_dim = ws.(0) in
+  let ginput = Tensor.zeros is in
+  let gweight = Tensor.zeros ws in
+  let gbias = Tensor.zeros [| out_dim |] in
+  let id = Tensor.data input
+  and wd = Tensor.data weight
+  and god = Tensor.data gout
+  and gid = Tensor.data ginput
+  and gwd = Tensor.data gweight
+  and gbd = Tensor.data gbias in
+  for ni = 0 to n - 1 do
+    let ibase = ni * f in
+    for oi = 0 to out_dim - 1 do
+      let g = god.((ni * out_dim) + oi) in
+      gbd.(oi) <- gbd.(oi) +. g;
+      let wbase = oi * f in
+      for fi = 0 to f - 1 do
+        Array.unsafe_set gid (ibase + fi)
+          (Array.unsafe_get gid (ibase + fi) +. (g *. Array.unsafe_get wd (wbase + fi)));
+        Array.unsafe_set gwd (wbase + fi)
+          (Array.unsafe_get gwd (wbase + fi) +. (g *. Array.unsafe_get id (ibase + fi)))
+      done
+    done
+  done;
+  (ginput, gweight, gbias)
+
+type bn_cache = {
+  bn_input : Tensor.t;
+  bn_gamma : Tensor.t;
+  bn_mean : float array;
+  bn_inv_std : float array;
+  bn_xhat : Tensor.t;
+}
+
+let batch_norm ~input ~gamma ~beta ~eps =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let count = float_of_int (n * h * w) in
+  let mean = Array.make c 0.0 and var = Array.make c 0.0 in
+  let id = Tensor.data input in
+  for ci = 0 to c - 1 do
+    let acc = ref 0.0 in
+    for ni = 0 to n - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for i = 0 to (h * w) - 1 do
+        acc := !acc +. Array.unsafe_get id (base + i)
+      done
+    done;
+    mean.(ci) <- !acc /. count
+  done;
+  for ci = 0 to c - 1 do
+    let m = mean.(ci) in
+    let acc = ref 0.0 in
+    for ni = 0 to n - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for i = 0 to (h * w) - 1 do
+        let d = Array.unsafe_get id (base + i) -. m in
+        acc := !acc +. (d *. d)
+      done
+    done;
+    var.(ci) <- !acc /. count
+  done;
+  let inv_std = Array.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
+  let xhat = Tensor.zeros s in
+  let out = Tensor.zeros s in
+  let xd = Tensor.data xhat and od = Tensor.data out in
+  let gd = Tensor.data gamma and bd = Tensor.data beta in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      let m = mean.(ci) and is = inv_std.(ci) in
+      let g = gd.(ci) and b = bd.(ci) in
+      for i = 0 to (h * w) - 1 do
+        let xh = (Array.unsafe_get id (base + i) -. m) *. is in
+        Array.unsafe_set xd (base + i) xh;
+        Array.unsafe_set od (base + i) ((g *. xh) +. b)
+      done
+    done
+  done;
+  (out, { bn_input = input; bn_gamma = gamma; bn_mean = mean; bn_inv_std = inv_std; bn_xhat = xhat })
+
+let batch_norm_backward ~gout ~cache =
+  let s = Tensor.shape cache.bn_input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let count = float_of_int (n * h * w) in
+  let ginput = Tensor.zeros s in
+  let ggamma = Tensor.zeros [| c |] in
+  let gbeta = Tensor.zeros [| c |] in
+  let god = Tensor.data gout
+  and xd = Tensor.data cache.bn_xhat
+  and gid = Tensor.data ginput
+  and ggd = Tensor.data ggamma
+  and gbd = Tensor.data gbeta
+  and gd = Tensor.data cache.bn_gamma in
+  (* Standard batch-norm backward: per channel compute sum(g) and
+     sum(g * xhat), then
+     dx = gamma * inv_std / m * (m*g - sum(g) - xhat * sum(g*xhat)). *)
+  for ci = 0 to c - 1 do
+    let sum_g = ref 0.0 and sum_gx = ref 0.0 in
+    for ni = 0 to n - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for i = 0 to (h * w) - 1 do
+        let g = Array.unsafe_get god (base + i) in
+        sum_g := !sum_g +. g;
+        sum_gx := !sum_gx +. (g *. Array.unsafe_get xd (base + i))
+      done
+    done;
+    ggd.(ci) <- !sum_gx;
+    gbd.(ci) <- !sum_g;
+    let coeff = gd.(ci) *. cache.bn_inv_std.(ci) /. count in
+    for ni = 0 to n - 1 do
+      let base = ((ni * c) + ci) * h * w in
+      for i = 0 to (h * w) - 1 do
+        let g = Array.unsafe_get god (base + i) in
+        let xh = Array.unsafe_get xd (base + i) in
+        Array.unsafe_set gid (base + i)
+          (coeff *. ((count *. g) -. !sum_g -. (xh *. !sum_gx)))
+      done
+    done
+  done;
+  (ginput, ggamma, gbeta)
+
+let concat_channels parts =
+  match parts with
+  | [] -> invalid_arg "concat_channels: empty"
+  | first :: _ ->
+      let s = Tensor.shape first in
+      let n = s.(0) and h = s.(2) and w = s.(3) in
+      let total_c = List.fold_left (fun acc t -> acc + (Tensor.shape t).(1)) 0 parts in
+      let out = Tensor.zeros [| n; total_c; h; w |] in
+      let od = Tensor.data out in
+      let plane = h * w in
+      for ni = 0 to n - 1 do
+        let coff = ref 0 in
+        List.iter
+          (fun t ->
+            let c = (Tensor.shape t).(1) in
+            let td = Tensor.data t in
+            Array.blit td (ni * c * plane) od (((ni * total_c) + !coff) * plane) (c * plane);
+            coff := !coff + c)
+          parts
+      done;
+      out
+
+let split_channels_backward ~gout ~parts =
+  let s = Tensor.shape gout in
+  let n = s.(0) and total_c = s.(1) and h = s.(2) and w = s.(3) in
+  assert (List.fold_left ( + ) 0 parts = total_c);
+  let plane = h * w in
+  let god = Tensor.data gout in
+  let offsets =
+    List.fold_left (fun (acc, off) c -> ((off, c) :: acc, off + c)) ([], 0) parts
+    |> fst |> List.rev
+  in
+  List.map
+    (fun (off, c) ->
+      let g = Tensor.zeros [| n; c; h; w |] in
+      let gd = Tensor.data g in
+      for ni = 0 to n - 1 do
+        Array.blit god (((ni * total_c) + off) * plane) gd (ni * c * plane) (c * plane)
+      done;
+      g)
+    offsets
+
+let softmax_cross_entropy ~logits ~labels =
+  let s = Tensor.shape logits in
+  let n = s.(0) and k = s.(1) in
+  assert (Array.length labels = n);
+  let ld = Tensor.data logits in
+  let grad = Tensor.zeros s in
+  let gd = Tensor.data grad in
+  let loss = ref 0.0 in
+  for ni = 0 to n - 1 do
+    let base = ni * k in
+    let mx = ref ld.(base) in
+    for ki = 1 to k - 1 do
+      if ld.(base + ki) > !mx then mx := ld.(base + ki)
+    done;
+    let denom = ref 0.0 in
+    for ki = 0 to k - 1 do
+      denom := !denom +. exp (ld.(base + ki) -. !mx)
+    done;
+    let log_denom = log !denom in
+    let label = labels.(ni) in
+    loss := !loss -. (ld.(base + label) -. !mx -. log_denom);
+    for ki = 0 to k - 1 do
+      let p = exp (ld.(base + ki) -. !mx -. log_denom) in
+      gd.(base + ki) <- (p -. (if ki = label then 1.0 else 0.0)) /. float_of_int n
+    done
+  done;
+  (!loss /. float_of_int n, grad)
+
+let accuracy ~logits ~labels =
+  let s = Tensor.shape logits in
+  let n = s.(0) and k = s.(1) in
+  let ld = Tensor.data logits in
+  let correct = ref 0 in
+  for ni = 0 to n - 1 do
+    let base = ni * k in
+    let best = ref 0 in
+    for ki = 1 to k - 1 do
+      if ld.(base + ki) > ld.(base + !best) then best := ki
+    done;
+    if !best = labels.(ni) then incr correct
+  done;
+  float_of_int !correct /. float_of_int n
+
+let pad_channels t c =
+  let s = Tensor.shape t in
+  let n = s.(0) and c0 = s.(1) and h = s.(2) and w = s.(3) in
+  assert (c >= c0);
+  if c = c0 then t
+  else begin
+    let out = Tensor.zeros [| n; c; h; w |] in
+    let td = Tensor.data t and od = Tensor.data out in
+    let plane = h * w in
+    for ni = 0 to n - 1 do
+      Array.blit td (ni * c0 * plane) od (ni * c * plane) (c0 * plane)
+    done;
+    out
+  end

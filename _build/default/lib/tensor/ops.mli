@@ -1,0 +1,91 @@
+(** Neural-network kernels over {!Tensor}.
+
+    Activations are NCHW, convolution weights are OIHW (with the I dimension
+    equal to [C_i / groups] for grouped convolution).  Every forward kernel
+    has a matching backward kernel returning gradients with respect to each
+    input, which powers both SGD training and the Fisher Potential pass. *)
+
+type conv_params = {
+  stride : int;
+  pad : int;
+  groups : int;
+}
+
+val conv_out_dim : int -> k:int -> stride:int -> pad:int -> int
+(** Spatial output extent of a convolution. *)
+
+val conv2d :
+  input:Tensor.t -> weight:Tensor.t -> bias:Tensor.t option -> conv_params -> Tensor.t
+(** [conv2d ~input ~weight ~bias p] computes a (possibly grouped) 2-D
+    convolution.  Input [N;Ci;H;W], weight [Co;Ci/g;Kh;Kw], output
+    [N;Co;Ho;Wo].  [Ci] and [Co] must be divisible by [p.groups]. *)
+
+val conv2d_backward :
+  input:Tensor.t ->
+  weight:Tensor.t ->
+  gout:Tensor.t ->
+  conv_params ->
+  Tensor.t * Tensor.t * Tensor.t
+(** Gradients (w.r.t. input, weight, bias) of {!conv2d}. *)
+
+val relu : Tensor.t -> Tensor.t
+val relu_backward : input:Tensor.t -> gout:Tensor.t -> Tensor.t
+
+val max_pool2d : Tensor.t -> size:int -> stride:int -> pad:int -> Tensor.t * int array
+(** Returns the pooled tensor and the flat argmax index of each output cell
+    (or -1 where the window saw only padding), consumed by the backward
+    pass. *)
+
+val max_pool2d_backward :
+  input:Tensor.t -> gout:Tensor.t -> indices:int array -> Tensor.t
+
+val avg_pool2d : Tensor.t -> size:int -> stride:int -> pad:int -> Tensor.t
+(** Padding cells count as zeros in the average (count-include-pad). *)
+
+val avg_pool2d_backward :
+  input:Tensor.t -> gout:Tensor.t -> size:int -> stride:int -> pad:int -> Tensor.t
+
+val upsample_nearest : Tensor.t -> int -> Tensor.t
+(** [upsample_nearest t f] repeats every spatial cell [f] times along both
+    spatial axes. *)
+
+val upsample_nearest_backward : input:Tensor.t -> gout:Tensor.t -> int -> Tensor.t
+
+val global_avg_pool : Tensor.t -> Tensor.t
+(** [N;C;H;W] -> [N;C]. *)
+
+val global_avg_pool_backward : input:Tensor.t -> gout:Tensor.t -> Tensor.t
+
+val linear : input:Tensor.t -> weight:Tensor.t -> bias:Tensor.t -> Tensor.t
+(** Input [N;F], weight [Out;F], bias [Out] -> [N;Out]. *)
+
+val linear_backward :
+  input:Tensor.t -> weight:Tensor.t -> gout:Tensor.t -> Tensor.t * Tensor.t * Tensor.t
+
+type bn_cache
+(** Values saved by the batch-norm forward pass for its backward pass. *)
+
+val batch_norm :
+  input:Tensor.t -> gamma:Tensor.t -> beta:Tensor.t -> eps:float -> Tensor.t * bn_cache
+(** Per-channel normalization over the N, H, W axes (training statistics). *)
+
+val batch_norm_backward :
+  gout:Tensor.t -> cache:bn_cache -> Tensor.t * Tensor.t * Tensor.t
+(** Gradients (w.r.t. input, gamma, beta). *)
+
+val concat_channels : Tensor.t list -> Tensor.t
+(** Concatenates NCHW tensors along the channel axis. *)
+
+val split_channels_backward : gout:Tensor.t -> parts:int list -> Tensor.t list
+(** Inverse of {!concat_channels} for gradients: splits [gout] into chunks of
+    [parts] channels. *)
+
+val softmax_cross_entropy : logits:Tensor.t -> labels:int array -> float * Tensor.t
+(** Mean cross-entropy loss over the batch and its gradient w.r.t. logits. *)
+
+val accuracy : logits:Tensor.t -> labels:int array -> float
+(** Top-1 accuracy in [0,1]. *)
+
+val pad_channels : Tensor.t -> int -> Tensor.t
+(** [pad_channels t c] zero-pads the channel axis of an NCHW tensor up to [c]
+    channels (used by downsampling shortcuts). *)

@@ -1,0 +1,142 @@
+type t = { shape : int array; data : float array }
+
+let product = Array.fold_left ( * ) 1
+
+let create shape v =
+  assert (Array.for_all (fun d -> d > 0) shape);
+  { shape = Array.copy shape; data = Array.make (product shape) v }
+
+let zeros shape = create shape 0.0
+let ones shape = create shape 1.0
+
+let of_array shape data =
+  assert (product shape = Array.length data);
+  { shape = Array.copy shape; data }
+
+let scalar v = { shape = [||]; data = [| v |] }
+let shape t = t.shape
+let data t = t.data
+let numel t = Array.length t.data
+let ndim t = Array.length t.shape
+let dim t i = t.shape.(i)
+let same_shape a b = a.shape = b.shape
+
+(* Row-major flat offset of a multi-index. *)
+let offset t idx =
+  let n = Array.length t.shape in
+  assert (Array.length idx = n);
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    assert (idx.(i) >= 0 && idx.(i) < t.shape.(i));
+    off := (!off * t.shape.(i)) + idx.(i)
+  done;
+  !off
+
+let get t idx = t.data.(offset t idx)
+let set t idx v = t.data.(offset t idx) <- v
+let get1 t i = t.data.(i)
+let set1 t i v = t.data.(i) <- v
+
+let init shape f =
+  let t = zeros shape in
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let total = numel t in
+  for flat = 0 to total - 1 do
+    (* Decode flat index into idx. *)
+    let rem = ref flat in
+    for i = n - 1 downto 0 do
+      idx.(i) <- !rem mod shape.(i);
+      rem := !rem / shape.(i)
+    done;
+    t.data.(flat) <- f idx
+  done;
+  t
+
+let reshape t shape =
+  assert (product shape = Array.length t.data);
+  { shape = Array.copy shape; data = t.data }
+
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let fill_ t v = Array.fill t.data 0 (Array.length t.data) v
+
+let blit ~src ~dst =
+  assert (numel src = numel dst);
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  assert (same_shape a b);
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let iteri_flat f t = Array.iteri f t.data
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale k t = map (fun x -> k *. x) t
+
+let add_ dst src =
+  assert (same_shape dst src);
+  let d = dst.data and s = src.data in
+  for i = 0 to Array.length d - 1 do
+    Array.unsafe_set d i (Array.unsafe_get d i +. Array.unsafe_get s i)
+  done
+
+let axpy_ ~alpha ~x ~y =
+  assert (same_shape x y);
+  let xd = x.data and yd = y.data in
+  for i = 0 to Array.length xd - 1 do
+    Array.unsafe_set yd i (Array.unsafe_get yd i +. (alpha *. Array.unsafe_get xd i))
+  done
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+let max_value t = Array.fold_left Stdlib.max t.data.(0) t.data
+
+let argmax_flat t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.data - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let sq_norm t = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data
+
+let approx_equal ?(tol = 1e-6) a b =
+  same_shape a b
+  && (let ok = ref true in
+      for i = 0 to Array.length a.data - 1 do
+        if Float.abs (a.data.(i) -. b.data.(i)) > tol then ok := false
+      done;
+      !ok)
+
+let rand_uniform rng shape ~lo ~hi =
+  let t = zeros shape in
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- lo +. Rng.float rng (hi -. lo)
+  done;
+  t
+
+let rand_normal rng shape ~mean ~std =
+  let t = zeros shape in
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- Rng.gauss_scaled rng ~mean ~std
+  done;
+  t
+
+let kaiming rng shape ~fan_in =
+  assert (fan_in > 0);
+  let std = sqrt (2.0 /. float_of_int fan_in) in
+  rand_normal rng shape ~mean:0.0 ~std
+
+let pp ppf t =
+  let dims = Array.to_list t.shape |> List.map string_of_int |> String.concat "x" in
+  let n = Stdlib.min 6 (numel t) in
+  Format.fprintf ppf "tensor<%s>[" dims;
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf ppf "; ";
+    Format.fprintf ppf "%.4g" t.data.(i)
+  done;
+  if numel t > n then Format.fprintf ppf "; ...";
+  Format.fprintf ppf "]"

@@ -1,0 +1,81 @@
+(** Dense float tensors.
+
+    A tensor is a flat [float array] with a shape.  Indexing is row-major
+    (C order); the convolution code uses NCHW layout for activations and
+    OIHW for weights.  All operations allocate fresh tensors unless the name
+    ends in [_] (in-place). *)
+
+type t = private { shape : int array; data : float array }
+
+val create : int array -> float -> t
+(** [create shape v] is a tensor of the given shape filled with [v]. *)
+
+val zeros : int array -> t
+val ones : int array -> t
+
+val init : int array -> (int array -> float) -> t
+(** [init shape f] fills each cell from its multi-index. *)
+
+val of_array : int array -> float array -> t
+(** Wraps a flat array; the length must match the shape product. *)
+
+val scalar : float -> t
+(** Rank-0 tensor. *)
+
+val shape : t -> int array
+val data : t -> float array
+val numel : t -> int
+val ndim : t -> int
+val dim : t -> int -> int
+
+val same_shape : t -> t -> bool
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val get1 : t -> int -> float
+(** Flat-index read. *)
+
+val set1 : t -> int -> float -> unit
+(** Flat-index write. *)
+
+val reshape : t -> int array -> t
+(** Shares the underlying data; the element count must be preserved. *)
+
+val copy : t -> t
+val fill_ : t -> float -> unit
+val blit : src:t -> dst:t -> unit
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val iteri_flat : (int -> float -> unit) -> t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val add_ : t -> t -> unit
+(** [add_ dst src] accumulates [src] into [dst]. *)
+
+val axpy_ : alpha:float -> x:t -> y:t -> unit
+(** [axpy_ ~alpha ~x ~y] does y <- y + alpha * x in place. *)
+
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+val argmax_flat : t -> int
+
+val sq_norm : t -> float
+(** Sum of squared entries. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Shape equality plus element-wise comparison within [tol] (default 1e-6). *)
+
+val rand_uniform : Rng.t -> int array -> lo:float -> hi:float -> t
+val rand_normal : Rng.t -> int array -> mean:float -> std:float -> t
+
+val kaiming : Rng.t -> int array -> fan_in:int -> t
+(** He-normal initialization used for all conv and linear weights. *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape and a few leading values, for debugging. *)

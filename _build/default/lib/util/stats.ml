@@ -1,0 +1,115 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+
+let std xs = sqrt (variance xs)
+
+let stderr_of_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else std xs /. sqrt (float_of_int n)
+
+let sorted xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let s = sorted xs in
+    if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let s = sorted xs in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
+let min xs = Array.fold_left Stdlib.min xs.(0) xs
+let max xs = Array.fold_left Stdlib.max xs.(0) xs
+
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n > 1);
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let a = xs.(i) -. mx and b = ys.(i) -. my in
+    num := !num +. (a *. b);
+    dx := !dx +. (a *. a);
+    dy := !dy +. (b *. b)
+  done;
+  if !dx = 0.0 || !dy = 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+
+(* Average ranks over ties so that the coefficient is exact on tied data. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let rk = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      rk.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  rk
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let argmax xs =
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best
+
+let argmin xs =
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(!best) then best := i
+  done;
+  !best
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        assert (x > 0.0);
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let histogram xs ~bins ~lo ~hi =
+  assert (bins > 0 && hi > lo);
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts

@@ -1,0 +1,40 @@
+(** Small statistics toolbox used by the experiment harnesses. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays shorter than 2. *)
+
+val std : float array -> float
+(** Population standard deviation. *)
+
+val stderr_of_mean : float array -> float
+(** Standard error of the mean (std / sqrt n). *)
+
+val median : float array -> float
+(** Median (does not mutate the input). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0,100], linear interpolation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length arrays. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation coefficient. *)
+
+val argmax : float array -> int
+(** Index of the maximum element (first on ties). *)
+
+val argmin : float array -> int
+(** Index of the minimum element (first on ties). *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+val histogram : float array -> bins:int -> lo:float -> hi:float -> int array
+(** Fixed-width histogram; values outside [lo,hi] are clamped to end bins. *)

@@ -1,0 +1,12 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_unit f = snd (time f)
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.1f us" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.1f ms" (s *. 1e3)
+  else if s < 120.0 then Format.fprintf ppf "%.2f s" s
+  else Format.fprintf ppf "%d min %d s" (int_of_float s / 60) (int_of_float s mod 60)

@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers for the experiment harnesses. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_unit : (unit -> unit) -> float
+(** Elapsed seconds of a unit-returning thunk. *)
+
+val pp_seconds : Format.formatter -> float -> unit
+(** Human-readable duration ("1.2 ms", "3.4 s", "2 min 5 s"). *)

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Builder Graph List Printf Rng Synthetic_data Tensor Train

@@ -1,0 +1,1 @@
+test/test_fisher.ml: Alcotest Array Conv_impl Exp_common Fisher Float Gen List Models QCheck QCheck_alcotest Rng Tensor Test

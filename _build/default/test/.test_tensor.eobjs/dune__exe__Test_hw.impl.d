@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Autotune Cache_sim Cost_model Device Float List Loop_nest Poly QCheck QCheck_alcotest Test

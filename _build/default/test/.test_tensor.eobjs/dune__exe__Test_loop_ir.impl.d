@@ -1,0 +1,1 @@
+test/test_loop_ir.ml: Alcotest Array Float Format List Loop_nest Ops Poly QCheck QCheck_alcotest Rng String Tensor Test

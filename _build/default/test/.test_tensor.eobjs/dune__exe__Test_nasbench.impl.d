@@ -1,0 +1,1 @@
+test/test_nasbench.ml: Alcotest Array Fisher Float Graph List Nasbench QCheck QCheck_alcotest Rng Synthetic_data Tensor Test

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Builder Conv_impl Float Graph Layer List Models Optimizer Printf QCheck QCheck_alcotest Rng String Synthetic_data Tensor Test Train

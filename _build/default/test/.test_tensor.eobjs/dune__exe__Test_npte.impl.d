@@ -1,0 +1,1 @@
+test/test_npte.ml: Alcotest Array Autotune Conv_impl Device List Loop_nest Models Pipeline Poly Rng Sequences Site_plan Table1

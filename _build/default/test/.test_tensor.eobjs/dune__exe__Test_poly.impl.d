@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array List Poly Poly_legality QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Blockswap Conv_impl Device Exp_common Gen List Models Pareto Pipeline QCheck QCheck_alcotest Rng Site_plan Test Unified_search

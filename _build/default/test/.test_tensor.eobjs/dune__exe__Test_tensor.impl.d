@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float List Ops Printf QCheck QCheck_alcotest Rng Tensor Test

@@ -1,0 +1,139 @@
+(* Fisher Potential tests: the formula itself, graph-level aggregation,
+   clipped legality, and the measure's behaviour on structures with
+   obviously different capacities. *)
+
+let rng () = Rng.create 17
+
+let t_channel_score_formula () =
+  (* Hand-computed instance of eq. (4): N=1, C=1, 2x1 activation. *)
+  let activation = Tensor.of_array [| 1; 1; 2; 1 |] [| 2.0; 3.0 |] in
+  let grad = Tensor.of_array [| 1; 1; 2; 1 |] [| 0.5; -1.0 |] in
+  (* sum A*g = 1 - 3 = -2; delta = (-2)^2 / (2*1) = 2 *)
+  Alcotest.(check (float 1e-9)) "delta_c" 2.0
+    (Fisher.channel_score ~activation ~grad ~channel:0)
+
+let t_channel_score_batch_mean () =
+  (* Two identical examples double nothing: 1/2N of the summed squares. *)
+  let activation = Tensor.of_array [| 2; 1; 1; 1 |] [| 2.0; 2.0 |] in
+  let grad = Tensor.of_array [| 2; 1; 1; 1 |] [| 1.0; 1.0 |] in
+  (* per-example (2*1)^2 = 4, sum 8, /(2*2) = 2 *)
+  Alcotest.(check (float 1e-9)) "batch mean" 2.0
+    (Fisher.channel_score ~activation ~grad ~channel:0)
+
+let t_layer_score_sums_channels () =
+  let r = rng () in
+  let activation = Tensor.rand_normal r [| 2; 3; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let grad = Tensor.rand_normal r [| 2; 3; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let by_hand =
+    List.fold_left
+      (fun acc c -> acc +. Fisher.channel_score ~activation ~grad ~channel:c)
+      0.0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check (float 1e-9)) "sum" by_hand (Fisher.layer_score ~activation ~grad)
+
+let t_zero_grad_zero_score () =
+  let activation = Tensor.ones [| 1; 2; 2; 2 |] in
+  let grad = Tensor.zeros [| 1; 2; 2; 2 |] in
+  Alcotest.(check (float 1e-12)) "zero" 0.0 (Fisher.layer_score ~activation ~grad)
+
+let t_model_scores_positive () =
+  let r = rng () in
+  let model = Models.build (Models.resnet18 ()) r in
+  let probe = Exp_common.probe_batch (Rng.split r) ~input_size:16 in
+  let s = Fisher.score model probe in
+  Alcotest.(check int) "per-site count" (Array.length model.Models.sites)
+    (Array.length s.Fisher.per_site);
+  Alcotest.(check bool) "total positive" true (s.Fisher.total > 0.0);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "site non-negative" true (v >= 0.0))
+    s.Fisher.per_site
+
+let t_deterministic () =
+  let model = Models.build (Models.resnet18 ()) (Rng.create 3) in
+  let probe = Exp_common.probe_batch (Rng.create 4) ~input_size:16 in
+  let a = Fisher.potential model probe in
+  let b = Fisher.potential model probe in
+  Alcotest.(check (float 1e-12)) "same input, same score" a b
+
+let t_clipped_total () =
+  let mk per_site =
+    { Fisher.per_site; total = Array.fold_left ( +. ) 0.0 per_site }
+  in
+  let baseline = mk [| 1.0; 2.0; 3.0 |] in
+  let candidate = mk [| 10.0; 1.0; 3.0 |] in
+  (* clip: min(10,1) + min(1,2) + min(3,3) = 1 + 1 + 3 = 5 *)
+  Alcotest.(check (float 1e-9)) "clipped" 5.0 (Fisher.clipped_total ~baseline candidate);
+  Alcotest.(check bool) "5/6 < 0.88: illegal" false
+    (Fisher.legal_clipped ~baseline candidate);
+  Alcotest.(check bool) "baseline is legal vs itself" true
+    (Fisher.legal_clipped ~baseline baseline)
+
+let t_legal_simple () =
+  Alcotest.(check bool) "above" true (Fisher.legal ~original:1.0 ~candidate:1.1 ());
+  Alcotest.(check bool) "within slack" true (Fisher.legal ~original:1.0 ~candidate:0.96 ());
+  Alcotest.(check bool) "below" false (Fisher.legal ~original:1.0 ~candidate:0.5 ())
+
+let t_zeroed_network_scores_lower () =
+  (* Grouping damages representational capacity; across the grouping levels
+     at least one must measurably lose clipped Fisher Potential against the
+     reference with shared weights (individual levels are noisy at this
+     scale, so the assertion quantifies over the family). *)
+  let model = Models.build (Models.resnet18 ()) (Rng.create 5) in
+  let probe = Exp_common.probe_batch (Rng.create 6) ~input_size:16 in
+  let full = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
+  let baseline = Fisher.score (Models.rebuild model (Rng.create 7) full) probe in
+  let clipped_ratio g =
+    let impls =
+      Array.map
+        (fun s -> if Conv_impl.valid s (Conv_impl.Grouped g) then Conv_impl.Grouped g else Conv_impl.Full)
+        model.Models.sites
+    in
+    let candidate = Fisher.score (Models.rebuild model (Rng.create 7) impls) probe in
+    Fisher.clipped_total ~baseline candidate /. baseline.Fisher.total
+  in
+  let ratios = List.map clipped_ratio [ 2; 4; 8 ] in
+  List.iter
+    (fun r -> Alcotest.(check bool) "clipped never exceeds 1" true (r <= 1.0 +. 1e-9))
+    ratios;
+  Alcotest.(check bool) "some level loses capacity" true
+    (List.exists (fun r -> r < 0.95) ratios)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"clipped total never exceeds baseline total" ~count:100
+      (list_of_size (Gen.return 6) (pair (float_bound_exclusive 10.0) (float_bound_exclusive 10.0)))
+      (fun pairs ->
+        let pairs = List.map (fun (a, b) -> (a +. 0.01, b +. 0.01)) pairs in
+        let baseline_arr = Array.of_list (List.map fst pairs) in
+        let cand_arr = Array.of_list (List.map snd pairs) in
+        let mk per_site = { Fisher.per_site; total = Array.fold_left ( +. ) 0.0 per_site } in
+        let baseline = mk baseline_arr in
+        Fisher.clipped_total ~baseline (mk cand_arr) <= baseline.Fisher.total +. 1e-9);
+    Test.make ~name:"channel score is scale-quadratic" ~count:30
+      (pair (int_range 1 3) (float_range 0.5 2.0))
+      (fun (c, k) ->
+        let r = Rng.create (c * 100) in
+        let activation = Tensor.rand_normal r [| 2; c; 3; 3 |] ~mean:0.0 ~std:1.0 in
+        let grad = Tensor.rand_normal r [| 2; c; 3; 3 |] ~mean:0.0 ~std:1.0 in
+        let base = Fisher.channel_score ~activation ~grad ~channel:0 in
+        let scaled =
+          Fisher.channel_score ~activation:(Tensor.scale k activation) ~grad ~channel:0
+        in
+        Float.abs (scaled -. (k *. k *. base)) < 1e-6 *. (1.0 +. Float.abs scaled)) ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fisher"
+    [ ( "formula",
+        [ quick "eq. 4 by hand" t_channel_score_formula;
+          quick "batch mean" t_channel_score_batch_mean;
+          quick "eq. 5 sums channels" t_layer_score_sums_channels;
+          quick "zero gradient" t_zero_grad_zero_score ] );
+      ( "network",
+        [ quick "per-site scores" t_model_scores_positive;
+          quick "deterministic" t_deterministic;
+          quick "aggressive grouping scores lower" t_zeroed_network_scores_lower ] );
+      ( "legality",
+        [ quick "clipped total" t_clipped_total;
+          quick "simple threshold" t_legal_simple ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -1,0 +1,155 @@
+(* Search tests: the unified search, BlockSwap, Pareto utilities and the
+   interpolation machinery.  Small candidate pools keep them fast. *)
+
+let setup () =
+  let rng = Rng.create 77 in
+  let model = Models.build (Models.resnet18 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  (rng, model, probe)
+
+let t_unified_improves_or_equals_baseline () =
+  let rng, model, probe = setup () in
+  let r =
+    Unified_search.search ~candidates:40 ~rng:(Rng.split rng) ~device:Device.i7
+      ~probe model
+  in
+  Alcotest.(check bool) "speedup >= 1" true (Unified_search.speedup r >= 1.0);
+  Alcotest.(check bool) "accounting" true
+    (r.Unified_search.r_rejected <= r.r_explored)
+
+let t_unified_deterministic () =
+  let run () =
+    let rng, model, probe = setup () in
+    let r =
+      Unified_search.search ~candidates:25 ~rng:(Rng.split rng) ~device:Device.i7
+        ~probe model
+    in
+    r.Unified_search.r_best.Unified_search.cd_latency_s
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same result" (run ()) (run ())
+
+let t_unified_multi_matches_single_pool () =
+  let rng, model, probe = setup () in
+  let results =
+    Unified_search.search_multi ~candidates:25 ~rng:(Rng.split rng)
+      ~devices:[ Device.i7; Device.maxwell_mgpu ] ~probe model
+  in
+  Alcotest.(check int) "one result per device" 2 (List.length results);
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "baseline >= best" true
+        (r.Unified_search.r_baseline.Pipeline.ev_latency_s
+        >= r.r_best.Unified_search.cd_latency_s))
+    results;
+  (* The Fisher-filter statistics are shared between devices. *)
+  match results with
+  | [ (_, a); (_, b) ] ->
+      Alcotest.(check int) "shared rejections" a.Unified_search.r_rejected
+        b.Unified_search.r_rejected
+  | _ -> ()
+
+let t_winning_plans_are_legal () =
+  let rng, model, probe = setup () in
+  let r =
+    Unified_search.search ~candidates:30 ~rng:(Rng.split rng) ~device:Device.i7
+      ~probe model
+  in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "valid plan" true
+        (Site_plan.valid model.Models.sites.(i) p))
+    r.Unified_search.r_best.Unified_search.cd_plans
+
+let t_blockswap_respects_budget () =
+  let rng, model, probe = setup () in
+  let bs = Blockswap.search ~samples:40 ~budget_ratio:0.5 ~rng:(Rng.split rng) ~probe model in
+  (* Either the budget was met or the fallback (original) was returned. *)
+  let site_params impls =
+    Array.to_list model.Models.sites
+    |> List.fold_left
+         (fun acc s ->
+           acc
+           + Conv_impl.param_count (Models.scale_site model s)
+               impls.(s.Conv_impl.site_index))
+         0
+  in
+  let full = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
+  let is_fallback = bs.Blockswap.bs_impls = full in
+  Alcotest.(check bool) "budget or fallback" true
+    (is_fallback
+    || site_params bs.Blockswap.bs_impls
+       <= int_of_float (0.5 *. float_of_int (site_params full)))
+
+let t_blockswap_menu_excludes_sequences () =
+  let _, model, _ = setup () in
+  Array.iter
+    (fun site ->
+      List.iter
+        (fun impl ->
+          match impl with
+          | Conv_impl.Split_grouped _ | Conv_impl.Spatial_bottleneck _ ->
+              Alcotest.fail "sequence operators must not be in the NAS menu"
+          | _ -> ())
+        (Blockswap.menu site))
+    model.Models.sites
+
+(* --- Pareto ------------------------------------------------------------ *)
+
+let pt name l a = { Pareto.pt_name = name; pt_latency_s = l; pt_accuracy = a }
+
+let t_pareto_dominance () =
+  Alcotest.(check bool) "strictly better" true
+    (Pareto.dominates (pt "a" 1.0 0.9) (pt "b" 2.0 0.8));
+  Alcotest.(check bool) "equal does not dominate" false
+    (Pareto.dominates (pt "a" 1.0 0.9) (pt "b" 1.0 0.9));
+  Alcotest.(check bool) "tradeoff" false
+    (Pareto.dominates (pt "a" 1.0 0.7) (pt "b" 2.0 0.9))
+
+let t_pareto_front () =
+  let points =
+    [ pt "slow-acc" 4.0 0.95; pt "fast-inacc" 1.0 0.7; pt "dominated" 4.5 0.9;
+      pt "mid" 2.0 0.85 ]
+  in
+  let front = Pareto.front points in
+  let names = List.map (fun p -> p.Pareto.pt_name) front in
+  Alcotest.(check (list string)) "front sorted by latency"
+    [ "fast-inacc"; "mid"; "slow-acc" ] names;
+  Alcotest.(check bool) "dominated excluded" true
+    (not (List.mem "dominated" names));
+  Alcotest.(check bool) "membership test" true
+    (Pareto.is_pareto_optimal (pt "mid" 2.0 0.85) points)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"pareto front points are mutually non-dominating" ~count:50
+      (list_of_size (Gen.int_range 1 12)
+         (pair (float_range 0.1 10.0) (float_range 0.0 1.0)))
+      (fun raw ->
+        let points = List.mapi (fun i (l, a) -> pt (string_of_int i) l a) raw in
+        let front = Pareto.front points in
+        List.for_all
+          (fun p -> not (List.exists (fun q -> q <> p && Pareto.dominates q p) front))
+          front);
+    Test.make ~name:"random plans are always valid for their sites" ~count:25
+      (int_range 0 10000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let model = Models.build (Models.resnet18 ()) (Rng.create 7) in
+        let plans = Unified_search.random_plans rng model ~mutate_prob:0.8 in
+        Array.for_all
+          (fun ok -> ok)
+          (Array.mapi (fun i p -> Site_plan.valid model.Models.sites.(i) p) plans)) ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "search"
+    [ ( "unified",
+        [ quick "improves baseline" t_unified_improves_or_equals_baseline;
+          quick "deterministic" t_unified_deterministic;
+          quick "multi-device" t_unified_multi_matches_single_pool;
+          quick "winner legality" t_winning_plans_are_legal ] );
+      ( "blockswap",
+        [ quick "budget" t_blockswap_respects_budget;
+          quick "menu restricted" t_blockswap_menu_excludes_sequences ] );
+      ( "pareto", [ quick "dominance" t_pareto_dominance; quick "front" t_pareto_front ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -1,0 +1,348 @@
+(* Tensor and kernel tests: reference semantics plus finite-difference
+   gradient checks for every backward kernel. *)
+
+let rng () = Rng.create 7
+
+let check_close ?(tol = 1e-4) msg a b =
+  if Float.abs (a -. b) > tol then
+    Alcotest.failf "%s: %.8f vs %.8f (tol %.2g)" msg a b tol
+
+let t_create_get_set () =
+  let t = Tensor.zeros [| 2; 3; 4 |] in
+  Alcotest.(check int) "numel" 24 (Tensor.numel t);
+  Tensor.set t [| 1; 2; 3 |] 5.0;
+  check_close "get" 5.0 (Tensor.get t [| 1; 2; 3 |]);
+  check_close "flat" 5.0 (Tensor.get1 t 23)
+
+let t_init_index_order () =
+  let t = Tensor.init [| 2; 3 |] (fun idx -> float_of_int ((idx.(0) * 10) + idx.(1))) in
+  check_close "row major" 12.0 (Tensor.get1 t 5);
+  check_close "first" 0.0 (Tensor.get1 t 0)
+
+let t_map_arith () =
+  let a = Tensor.of_array [| 3 |] [| 1.0; 2.0; 3.0 |] in
+  let b = Tensor.of_array [| 3 |] [| 10.0; 20.0; 30.0 |] in
+  check_close "add" 22.0 (Tensor.get1 (Tensor.add a b) 1);
+  check_close "sub" 9.0 (Tensor.get1 (Tensor.sub b a) 0);
+  check_close "mul" 90.0 (Tensor.get1 (Tensor.mul a b) 2);
+  check_close "scale" 6.0 (Tensor.get1 (Tensor.scale 2.0 a) 2);
+  check_close "sum" 6.0 (Tensor.sum a);
+  check_close "mean" 2.0 (Tensor.mean a);
+  check_close "sq_norm" 14.0 (Tensor.sq_norm a)
+
+let t_reshape_shares () =
+  let a = Tensor.zeros [| 2; 2 |] in
+  let b = Tensor.reshape a [| 4 |] in
+  Tensor.set1 b 3 9.0;
+  check_close "shared" 9.0 (Tensor.get a [| 1; 1 |])
+
+let t_axpy () =
+  let x = Tensor.of_array [| 2 |] [| 1.0; 2.0 |] in
+  let y = Tensor.of_array [| 2 |] [| 10.0; 10.0 |] in
+  Tensor.axpy_ ~alpha:0.5 ~x ~y;
+  check_close "axpy" 11.0 (Tensor.get1 y 1)
+
+let t_argmax () =
+  let a = Tensor.of_array [| 4 |] [| 1.0; 7.0; 3.0; 7.0 |] in
+  Alcotest.(check int) "argmax first" 1 (Tensor.argmax_flat a)
+
+let t_rand_deterministic () =
+  let a = Tensor.rand_normal (rng ()) [| 8 |] ~mean:0.0 ~std:1.0 in
+  let b = Tensor.rand_normal (rng ()) [| 8 |] ~mean:0.0 ~std:1.0 in
+  Alcotest.(check bool) "same seed, same draw" true (Tensor.approx_equal a b)
+
+(* Reference convolution written as directly as possible from eq. (1). *)
+let naive_conv ~input ~weight ~stride ~pad ~groups =
+  let is = Tensor.shape input and ws = Tensor.shape weight in
+  let n = is.(0) and h = is.(2) and w = is.(3) in
+  let co = ws.(0) and cig = ws.(1) and kh = ws.(2) and kw = ws.(3) in
+  let oh = Ops.conv_out_dim h ~k:kh ~stride ~pad in
+  let ow = Ops.conv_out_dim w ~k:kw ~stride ~pad in
+  let cog = co / groups in
+  Tensor.init [| n; co; oh; ow |] (fun idx ->
+      let ni = idx.(0) and coi = idx.(1) and ohi = idx.(2) and owi = idx.(3) in
+      let g = coi / cog in
+      let acc = ref 0.0 in
+      for cg = 0 to cig - 1 do
+        let cii = (g * cig) + cg in
+        for khi = 0 to kh - 1 do
+          for kwi = 0 to kw - 1 do
+            let hi = (ohi * stride) + khi - pad in
+            let wi = (owi * stride) + kwi - pad in
+            if hi >= 0 && hi < h && wi >= 0 && wi < w then
+              acc :=
+                !acc
+                +. (Tensor.get input [| ni; cii; hi; wi |]
+                   *. Tensor.get weight [| coi; cg; khi; kwi |])
+          done
+        done
+      done;
+      !acc)
+
+let conv_case ~n ~ci ~co ~hw ~k ~stride ~pad ~groups () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| n; ci; hw; hw |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal r [| co; ci / groups; k; k |] ~mean:0.0 ~std:1.0 in
+  let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups } in
+  let slow = naive_conv ~input ~weight ~stride ~pad ~groups in
+  Alcotest.(check bool)
+    (Printf.sprintf "conv n%d ci%d co%d k%d s%d p%d g%d" n ci co k stride pad groups)
+    true
+    (Tensor.approx_equal ~tol:1e-4 fast slow)
+
+let t_conv_bias () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 1; 2; 4; 4 |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal r [| 3; 2; 1; 1 |] ~mean:0.0 ~std:1.0 in
+  let bias = Tensor.of_array [| 3 |] [| 1.0; 2.0; 3.0 |] in
+  let with_bias =
+    Ops.conv2d ~input ~weight ~bias:(Some bias) { Ops.stride = 1; pad = 0; groups = 1 }
+  in
+  let without =
+    Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 0; groups = 1 }
+  in
+  check_close "bias added" 2.0
+    (Tensor.get with_bias [| 0; 1; 0; 0 |] -. Tensor.get without [| 0; 1; 0; 0 |])
+
+(* Generic finite-difference check of a scalar loss through a kernel. *)
+let finite_diff ~loss ~param ~grad ~samples ~tol name =
+  let eps = 1e-4 in
+  let r = Rng.create 123 in
+  for _ = 1 to samples do
+    let i = Rng.int r (Tensor.numel param) in
+    let orig = Tensor.get1 param i in
+    Tensor.set1 param i (orig +. eps);
+    let up = loss () in
+    Tensor.set1 param i (orig -. eps);
+    let down = loss () in
+    Tensor.set1 param i orig;
+    let expected = (up -. down) /. (2.0 *. eps) in
+    let got = Tensor.get1 grad i in
+    if Float.abs (expected -. got) > tol *. (1.0 +. Float.abs expected) then
+      Alcotest.failf "%s: fd %.6f vs grad %.6f at %d" name expected got i
+  done
+
+let t_conv_backward () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 2; 4; 5; 5 |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal r [| 6; 2; 3; 3 |] ~mean:0.0 ~std:0.5 in
+  let params = { Ops.stride = 2; pad = 1; groups = 2 } in
+  (* Loss = weighted sum of outputs with fixed coefficients. *)
+  let coeffs = Tensor.rand_normal r [| 2; 6; 3; 3 |] ~mean:0.0 ~std:1.0 in
+  let loss () = Tensor.sum (Tensor.mul (Ops.conv2d ~input ~weight ~bias:None params) coeffs) in
+  let gin, gw, gb = Ops.conv2d_backward ~input ~weight ~gout:coeffs params in
+  finite_diff ~loss ~param:input ~grad:gin ~samples:20 ~tol:1e-2 "conv dinput";
+  finite_diff ~loss ~param:weight ~grad:gw ~samples:20 ~tol:1e-2 "conv dweight";
+  (* The bias gradient is the per-channel sum of coefficients. *)
+  let expected_b0 = ref 0.0 in
+  for ni = 0 to 1 do
+    for i = 0 to 8 do
+      expected_b0 := !expected_b0 +. Tensor.get1 coeffs ((ni * 54) + i)
+    done
+  done;
+  check_close "conv dbias" !expected_b0 (Tensor.get1 gb 0)
+
+let t_linear_backward () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 3; 5 |] ~mean:0.0 ~std:1.0 in
+  let weight = Tensor.rand_normal r [| 4; 5 |] ~mean:0.0 ~std:1.0 in
+  let bias = Tensor.rand_normal r [| 4 |] ~mean:0.0 ~std:1.0 in
+  let coeffs = Tensor.rand_normal r [| 3; 4 |] ~mean:0.0 ~std:1.0 in
+  let loss () = Tensor.sum (Tensor.mul (Ops.linear ~input ~weight ~bias) coeffs) in
+  let gin, gw, gb = Ops.linear_backward ~input ~weight ~gout:coeffs in
+  finite_diff ~loss ~param:input ~grad:gin ~samples:15 ~tol:1e-3 "linear dinput";
+  finite_diff ~loss ~param:weight ~grad:gw ~samples:15 ~tol:1e-3 "linear dweight";
+  ignore gb
+
+let t_bn_forward_stats () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 4; 3; 6; 6 |] ~mean:5.0 ~std:2.0 in
+  let gamma = Tensor.ones [| 3 |] and beta = Tensor.zeros [| 3 |] in
+  let out, _ = Ops.batch_norm ~input ~gamma ~beta ~eps:1e-5 in
+  (* Per-channel mean ~0 and variance ~1. *)
+  for c = 0 to 2 do
+    let acc = ref 0.0 and acc2 = ref 0.0 and count = ref 0 in
+    Tensor.iteri_flat
+      (fun i v ->
+        if i / 36 mod 3 = c then begin
+          acc := !acc +. v;
+          acc2 := !acc2 +. (v *. v);
+          incr count
+        end)
+      out;
+    let m = !acc /. float_of_int !count in
+    let var = (!acc2 /. float_of_int !count) -. (m *. m) in
+    check_close ~tol:1e-3 "bn mean" 0.0 m;
+    check_close ~tol:1e-2 "bn var" 1.0 var
+  done
+
+let t_bn_backward () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 2; 2; 3; 3 |] ~mean:1.0 ~std:1.5 in
+  let gamma = Tensor.rand_normal r [| 2 |] ~mean:1.0 ~std:0.2 in
+  let beta = Tensor.rand_normal r [| 2 |] ~mean:0.0 ~std:0.2 in
+  let coeffs = Tensor.rand_normal r [| 2; 2; 3; 3 |] ~mean:0.0 ~std:1.0 in
+  let loss () =
+    let out, _ = Ops.batch_norm ~input ~gamma ~beta ~eps:1e-5 in
+    Tensor.sum (Tensor.mul out coeffs)
+  in
+  let _, cache = Ops.batch_norm ~input ~gamma ~beta ~eps:1e-5 in
+  let gin, ggamma, gbeta = Ops.batch_norm_backward ~gout:coeffs ~cache in
+  finite_diff ~loss ~param:input ~grad:gin ~samples:12 ~tol:1e-2 "bn dinput";
+  finite_diff ~loss ~param:gamma ~grad:ggamma ~samples:2 ~tol:1e-2 "bn dgamma";
+  finite_diff ~loss ~param:beta ~grad:gbeta ~samples:2 ~tol:1e-2 "bn dbeta"
+
+let t_pool () =
+  let input =
+    Tensor.init [| 1; 1; 4; 4 |] (fun idx -> float_of_int ((idx.(2) * 4) + idx.(3)))
+  in
+  let mp, _ = Ops.max_pool2d input ~size:2 ~stride:2 ~pad:0 in
+  check_close "maxpool" 5.0 (Tensor.get mp [| 0; 0; 0; 0 |]);
+  check_close "maxpool br" 15.0 (Tensor.get mp [| 0; 0; 1; 1 |]);
+  let ap = Ops.avg_pool2d input ~size:2 ~stride:2 ~pad:0 in
+  check_close "avgpool" 2.5 (Tensor.get ap [| 0; 0; 0; 0 |])
+
+let t_pool_backward () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 1; 2; 4; 4 |] ~mean:0.0 ~std:1.0 in
+  let coeffs = Tensor.rand_normal r [| 1; 2; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let loss_max () =
+    let out, _ = Ops.max_pool2d input ~size:2 ~stride:2 ~pad:0 in
+    Tensor.sum (Tensor.mul out coeffs)
+  in
+  let _, indices = Ops.max_pool2d input ~size:2 ~stride:2 ~pad:0 in
+  let gin = Ops.max_pool2d_backward ~input ~gout:coeffs ~indices in
+  finite_diff ~loss:loss_max ~param:input ~grad:gin ~samples:12 ~tol:1e-2 "maxpool";
+  let loss_avg () =
+    Tensor.sum (Tensor.mul (Ops.avg_pool2d input ~size:2 ~stride:2 ~pad:0) coeffs)
+  in
+  let gin = Ops.avg_pool2d_backward ~input ~gout:coeffs ~size:2 ~stride:2 ~pad:0 in
+  finite_diff ~loss:loss_avg ~param:input ~grad:gin ~samples:12 ~tol:1e-2 "avgpool"
+
+let t_gap () =
+  let input =
+    Tensor.init [| 1; 2; 2; 2 |] (fun idx -> float_of_int (idx.(0) + idx.(1) + idx.(2) + idx.(3)))
+  in
+  let out = Ops.global_avg_pool input in
+  check_close "gap c0" 1.0 (Tensor.get out [| 0; 0 |]);
+  check_close "gap c1" 2.0 (Tensor.get out [| 0; 1 |])
+
+let t_upsample_roundtrip () =
+  let r = rng () in
+  let input = Tensor.rand_normal r [| 1; 2; 3; 3 |] ~mean:0.0 ~std:1.0 in
+  let up = Ops.upsample_nearest input 2 in
+  Alcotest.(check (array int)) "shape" [| 1; 2; 6; 6 |] (Tensor.shape up);
+  check_close "copies" (Tensor.get input [| 0; 1; 2; 1 |]) (Tensor.get up [| 0; 1; 5; 3 |]);
+  let coeffs = Tensor.rand_normal r [| 1; 2; 6; 6 |] ~mean:0.0 ~std:1.0 in
+  let loss () = Tensor.sum (Tensor.mul (Ops.upsample_nearest input 2) coeffs) in
+  let gin = Ops.upsample_nearest_backward ~input ~gout:coeffs 2 in
+  finite_diff ~loss ~param:input ~grad:gin ~samples:10 ~tol:1e-2 "upsample"
+
+let t_concat_split () =
+  let r = rng () in
+  let a = Tensor.rand_normal r [| 2; 3; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let b = Tensor.rand_normal r [| 2; 1; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let cat = Ops.concat_channels [ a; b ] in
+  Alcotest.(check (array int)) "shape" [| 2; 4; 2; 2 |] (Tensor.shape cat);
+  check_close "a part" (Tensor.get a [| 1; 2; 1; 0 |]) (Tensor.get cat [| 1; 2; 1; 0 |]);
+  check_close "b part" (Tensor.get b [| 1; 0; 0; 1 |]) (Tensor.get cat [| 1; 3; 0; 1 |]);
+  match Ops.split_channels_backward ~gout:cat ~parts:[ 3; 1 ] with
+  | [ ga; gb ] ->
+      Alcotest.(check bool) "split a" true (Tensor.approx_equal ga a);
+      Alcotest.(check bool) "split b" true (Tensor.approx_equal gb b)
+  | _ -> Alcotest.fail "expected two parts"
+
+let t_softmax_ce () =
+  let logits = Tensor.of_array [| 2; 3 |] [| 2.0; 1.0; 0.0; 0.0; 0.0; 5.0 |] in
+  let labels = [| 0; 2 |] in
+  let loss, grad = Ops.softmax_cross_entropy ~logits ~labels in
+  (* Both samples are confidently correct, so the loss is small. *)
+  Alcotest.(check bool) "loss positive small" true (loss > 0.0 && loss < 0.6);
+  (* Gradient rows sum to zero. *)
+  let s0 = Tensor.get1 grad 0 +. Tensor.get1 grad 1 +. Tensor.get1 grad 2 in
+  check_close ~tol:1e-6 "grad row sums to 0" 0.0 s0;
+  check_close "accuracy" 1.0 (Ops.accuracy ~logits ~labels)
+
+let t_softmax_grad_fd () =
+  let r = rng () in
+  let logits = Tensor.rand_normal r [| 3; 4 |] ~mean:0.0 ~std:1.0 in
+  let labels = [| 1; 3; 0 |] in
+  let loss () = fst (Ops.softmax_cross_entropy ~logits ~labels) in
+  let _, grad = Ops.softmax_cross_entropy ~logits ~labels in
+  finite_diff ~loss ~param:logits ~grad ~samples:12 ~tol:1e-3 "softmax-ce"
+
+let t_pad_channels () =
+  let r = rng () in
+  let a = Tensor.rand_normal r [| 1; 2; 2; 2 |] ~mean:0.0 ~std:1.0 in
+  let p = Ops.pad_channels a 5 in
+  Alcotest.(check (array int)) "shape" [| 1; 5; 2; 2 |] (Tensor.shape p);
+  check_close "copied" (Tensor.get a [| 0; 1; 1; 1 |]) (Tensor.get p [| 0; 1; 1; 1 |]);
+  check_close "zero" 0.0 (Tensor.get p [| 0; 4; 0; 0 |])
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"conv matches naive on random shapes" ~count:25
+      (quad (int_range 1 2) (int_range 1 4) (int_range 1 4) (int_range 3 7))
+      (fun (n, cig, cog, hw) ->
+        let groups = 1 + ((cig + cog) mod 2) in
+        let ci = cig * groups and co = cog * groups in
+        let k = 1 + (2 * (hw mod 2)) in
+        let stride = 1 + (hw mod 2) in
+        let pad = k / 2 in
+        let r = Rng.create (n + (100 * ci) + (17 * hw)) in
+        let input = Tensor.rand_normal r [| n; ci; hw; hw |] ~mean:0.0 ~std:1.0 in
+        let weight = Tensor.rand_normal r [| co; cig; k; k |] ~mean:0.0 ~std:1.0 in
+        let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups } in
+        let slow = naive_conv ~input ~weight ~stride ~pad ~groups in
+        Tensor.approx_equal ~tol:1e-4 fast slow);
+    Test.make ~name:"softmax-ce loss is non-negative" ~count:50
+      (pair (int_range 1 5) (int_range 2 6))
+      (fun (n, k) ->
+        let r = Rng.create (n * k) in
+        let logits = Tensor.rand_normal r [| n; k |] ~mean:0.0 ~std:3.0 in
+        let labels = Array.init n (fun i -> i mod k) in
+        fst (Ops.softmax_cross_entropy ~logits ~labels) >= 0.0);
+    Test.make ~name:"upsample backward is adjoint of forward" ~count:20
+      (pair (int_range 1 3) (int_range 2 3))
+      (fun (c, f) ->
+        (* <up(x), y> = <x, up^T(y)> *)
+        let r = Rng.create (c * f) in
+        let x = Tensor.rand_normal r [| 1; c; 3; 3 |] ~mean:0.0 ~std:1.0 in
+        let y = Tensor.rand_normal r [| 1; c; 3 * f; 3 * f |] ~mean:0.0 ~std:1.0 in
+        let lhs = Tensor.sum (Tensor.mul (Ops.upsample_nearest x f) y) in
+        let rhs = Tensor.sum (Tensor.mul x (Ops.upsample_nearest_backward ~input:x ~gout:y f)) in
+        Float.abs (lhs -. rhs) < 1e-6) ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tensor"
+    [ ( "tensor",
+        [ quick "create/get/set" t_create_get_set;
+          quick "init row-major" t_init_index_order;
+          quick "arith" t_map_arith;
+          quick "reshape shares data" t_reshape_shares;
+          quick "axpy" t_axpy;
+          quick "argmax" t_argmax;
+          quick "deterministic rand" t_rand_deterministic ] );
+      ( "conv",
+        [ quick "basic 3x3" (conv_case ~n:2 ~ci:3 ~co:4 ~hw:6 ~k:3 ~stride:1 ~pad:1 ~groups:1);
+          quick "stride 2" (conv_case ~n:1 ~ci:4 ~co:4 ~hw:8 ~k:3 ~stride:2 ~pad:1 ~groups:1);
+          quick "1x1" (conv_case ~n:2 ~ci:8 ~co:4 ~hw:5 ~k:1 ~stride:1 ~pad:0 ~groups:1);
+          quick "grouped" (conv_case ~n:1 ~ci:8 ~co:8 ~hw:6 ~k:3 ~stride:1 ~pad:1 ~groups:4);
+          quick "depthwise" (conv_case ~n:1 ~ci:6 ~co:6 ~hw:5 ~k:3 ~stride:1 ~pad:1 ~groups:6);
+          quick "no padding" (conv_case ~n:1 ~ci:2 ~co:3 ~hw:6 ~k:3 ~stride:1 ~pad:0 ~groups:1);
+          quick "bias" t_conv_bias;
+          quick "backward fd" t_conv_backward ] );
+      ( "kernels",
+        [ quick "linear backward fd" t_linear_backward;
+          quick "bn normalizes" t_bn_forward_stats;
+          quick "bn backward fd" t_bn_backward;
+          quick "pooling" t_pool;
+          quick "pooling backward fd" t_pool_backward;
+          quick "global avg pool" t_gap;
+          quick "upsample" t_upsample_roundtrip;
+          quick "concat/split" t_concat_split;
+          quick "softmax-ce" t_softmax_ce;
+          quick "softmax-ce fd" t_softmax_grad_fd;
+          quick "pad channels" t_pad_channels ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]
