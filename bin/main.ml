@@ -15,6 +15,10 @@ let ppf = Format.std_formatter
 
 let network_names = [ "resnet18"; "resnet34"; "resnext29"; "densenet161"; "densenet169"; "densenet201" ]
 
+(* Bad user input must exit with a one-line diagnostic and code 2, never a
+   raw Invalid_argument backtrace. *)
+let die fmt = Format.kasprintf (fun msg -> prerr_endline ("nas_pte: " ^ msg); exit 2) fmt
+
 let config_of_name = function
   | "resnet18" -> Models.resnet18 ()
   | "resnet34" -> Models.resnet34 ()
@@ -22,7 +26,7 @@ let config_of_name = function
   | "densenet161" -> Models.densenet161 ()
   | "densenet169" -> Models.densenet169 ()
   | "densenet201" -> Models.densenet201 ()
-  | other -> invalid_arg ("unknown network " ^ other)
+  | other -> die "unknown network %s (valid: %s)" other (String.concat ", " network_names)
 
 let network_arg =
   let doc = "Network to optimize: " ^ String.concat ", " network_names ^ "." in
@@ -40,10 +44,49 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let resilient_arg =
+  let doc =
+    "Print the supervisor's failure-attribution and cache report after the \
+     search (quarantined candidates are always tolerated)."
+  in
+  Arg.(value & flag & info [ "resilient" ] ~doc)
+
+let fault_rate_arg =
+  let doc =
+    "Deterministic fault-injection rate in [0,1]: each candidate's Fisher \
+     score, predicted latency and plan generation are independently \
+     corrupted with this probability (testing/hardening aid; default off)."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault-injection draws (default: the search seed)." in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Checkpoint file: search progress is saved there periodically and an \
+     interrupted run with the same parameters resumes instead of restarting."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Candidates between checkpoint snapshots." in
+  Arg.(value & opt int 25 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc =
+    "Stop (gracefully, saving a checkpoint if one is configured) after this \
+     many candidate evaluations in this run."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
 let device_of_name name =
   match Device.by_name name with
   | Some d -> d
-  | None -> invalid_arg ("unknown device " ^ name ^ " (CPU, GPU, mCPU, mGPU)")
+  | None ->
+      die "unknown device %s (valid: %s)" name
+        (String.concat ", " (List.map (fun d -> d.Device.short_name) Device.all))
 
 let devices_cmd =
   let run () =
@@ -56,14 +99,37 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the unified transformation menu") Term.(const run $ const ())
 
 let search_cmd =
-  let run network device candidates seed =
+  let run network device candidates seed resilient fault_rate fault_seed checkpoint
+      checkpoint_every budget =
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
     let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
+    let fault =
+      if fault_rate <= 0.0 then Fault.none
+      else
+        Fault.make ~seed:(Option.value fault_seed ~default:seed) ~rate:fault_rate ()
+    in
     Format.fprintf ppf "unified search: %s on %s, %d candidates@." model.Models.name
       dev.Device.dev_name candidates;
-    let r = Unified_search.search ~candidates ~rng:(Rng.split rng) ~device:dev ~probe model in
+    if Fault.enabled fault then
+      Format.fprintf ppf "fault injection: rate %.0f%% per oracle per candidate@."
+        (100.0 *. fault_rate);
+    let r =
+      Unified_search.search ~candidates ~fault ?budget ?checkpoint ~checkpoint_every
+        ~rng:(Rng.split rng) ~device:dev ~probe model
+    in
+    (match r.Unified_search.r_checkpoint_error with
+    | Some e ->
+        Format.eprintf "nas_pte: warning: checkpoint not saved (%a); resume disabled@."
+          Nas_error.pp e
+    | None -> ());
+    if not r.Unified_search.r_complete then
+      Format.fprintf ppf "stopped on budget after %d evaluations%s@."
+        r.Unified_search.r_evaluated
+        (match checkpoint with
+        | Some path -> Printf.sprintf " (progress saved to %s)" path
+        | None -> "");
     Format.fprintf ppf "baseline:  %a  (%d paper-scale conv params)@." Exp_common.pp_us
       r.Unified_search.r_baseline.Pipeline.ev_latency_s
       r.r_baseline.Pipeline.ev_params;
@@ -73,7 +139,21 @@ let search_cmd =
       (float_of_int r.r_baseline.Pipeline.ev_params /. float_of_int (max 1 r.r_best.cd_params));
     Format.fprintf ppf "fisher:    %d of %d candidates rejected without training (%.0f%%)@."
       r.r_rejected r.r_explored
-      (100.0 *. float_of_int r.r_rejected /. float_of_int r.r_explored);
+      (100.0 *. float_of_int r.r_rejected /. float_of_int (max 1 r.r_explored));
+    let quarantined = List.length r.Unified_search.r_quarantined in
+    if quarantined > 0 || resilient then begin
+      Format.fprintf ppf "quarantine: %d of %d candidates failed and were set aside@."
+        quarantined r.r_explored;
+      List.iter
+        (fun (cls, n) -> Format.fprintf ppf "  %-28s %d@." cls n)
+        (Unified_search.quarantine_counts r)
+    end;
+    if resilient then begin
+      let cs = Pipeline.cache_stats () in
+      Format.fprintf ppf
+        "pipeline cache: %d hits, %d misses, %d/%d entries (%d evicted)@."
+        cs.Pipeline.cs_hits cs.cs_misses cs.cs_size cs.cs_capacity cs.cs_evictions
+    end;
     Format.fprintf ppf "wall:      %a@." Timing.pp_seconds r.r_wall_s;
     Format.fprintf ppf "@.winning per-site plans (transformed sites only):@.";
     Array.iteri
@@ -84,7 +164,9 @@ let search_cmd =
       r.r_best.cd_plans
   in
   Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
-    Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg)
+    Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg
+          $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
+          $ checkpoint_every_arg $ budget_arg)
 
 let nas_cmd =
   let run network device candidates seed =

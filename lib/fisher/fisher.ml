@@ -3,7 +3,8 @@ type scores = { per_site : float array; total : float }
 let channel_score ~activation ~grad ~channel =
   let s = Tensor.shape activation in
   let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
-  assert (channel < c);
+  if channel >= c then
+    Nas_error.shape_mismatch "channel_score: channel %d of %d" channel c;
   let ad = Tensor.data activation and gd = Tensor.data grad in
   let plane = h * w in
   let acc = ref 0.0 in
@@ -45,9 +46,14 @@ let score model batch =
 
 let potential model batch = (score model batch).total
 
+let finite scores =
+  Float.is_finite scores.total && Guard.all_finite scores.per_site
+
 let clipped_total ~baseline scores =
   let n = Array.length baseline.per_site in
-  assert (Array.length scores.per_site = n);
+  if Array.length scores.per_site <> n then
+    Nas_error.shape_mismatch "clipped_total: %d site scores against %d baseline"
+      (Array.length scores.per_site) n;
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
     acc := !acc +. Float.min scores.per_site.(i) baseline.per_site.(i)

@@ -33,6 +33,11 @@ val score : Models.t -> Train.batch -> scores
 val potential : Models.t -> Train.batch -> float
 (** [ (score m b).total ]. *)
 
+val finite : scores -> bool
+(** Whether the total and every per-site score are finite.  A NaN score
+    must be rejected explicitly: NaN compares false under [>=], so an
+    unguarded candidate would silently pass or fail the legality check. *)
+
 val clipped_total : baseline:scores -> scores -> float
 (** Per-site scores clipped at the original's before summation — a
     one-sided test of capacity {e loss}.  At our scale, realizations that

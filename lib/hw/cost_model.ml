@@ -8,6 +8,11 @@ type breakdown = {
   vector_eff : float;
 }
 
+let is_finite b =
+  Float.is_finite b.total_s && Float.is_finite b.compute_s
+  && Float.is_finite b.memory_s && Float.is_finite b.overhead_s
+  && Float.is_finite b.dram_bytes
+
 (* A level is one digit of the schedule, flattened outermost-first, carrying
    its owning loop's annotations. *)
 type level = {

@@ -31,6 +31,11 @@ type breakdown = {
   vector_eff : float;
 }
 
+val is_finite : breakdown -> bool
+(** Whether every time/traffic component is finite — a degenerate schedule
+    or device description can otherwise surface NaN/Inf that would corrupt
+    candidate ranking downstream. *)
+
 val estimate : Device.t -> Loop_nest.conv_nest -> Poly.t -> breakdown
 (** Latency of one execution of the scheduled nest (batch 1). *)
 

@@ -12,8 +12,51 @@ type evaluated = {
   ev_fixed_cost_s : float;
 }
 
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_size : int;
+  cs_capacity : int;
+  cs_evictions : int;
+}
+
+(* The memo cache is bounded (FIFO eviction) so a long search over many
+   devices/networks cannot grow it without limit. *)
 let cache : (string, float) Hashtbl.t = Hashtbl.create 1024
-let clear_cache () = Hashtbl.reset cache
+let cache_order : string Queue.t = Queue.create ()
+let cache_capacity = ref 8192
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_evictions = ref 0
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  Queue.clear cache_order;
+  cache_hits := 0;
+  cache_misses := 0;
+  cache_evictions := 0
+
+let cache_evict_to cap =
+  while Hashtbl.length cache >= cap && not (Queue.is_empty cache_order) do
+    Hashtbl.remove cache (Queue.pop cache_order);
+    incr cache_evictions
+  done
+
+let set_cache_capacity n =
+  cache_capacity := max 1 n;
+  cache_evict_to (!cache_capacity + 1)
+
+let cache_stats () =
+  { cs_hits = !cache_hits;
+    cs_misses = !cache_misses;
+    cs_size = Hashtbl.length cache;
+    cs_capacity = !cache_capacity;
+    cs_evictions = !cache_evictions }
+
+let cache_insert key cost =
+  cache_evict_to !cache_capacity;
+  Hashtbl.replace cache key cost;
+  Queue.push key cache_order
 
 let hints_key (h : Autotune.hints) =
   Printf.sprintf "u%s.s%s"
@@ -28,8 +71,11 @@ let workload_key dev (w : Conv_impl.workload) hints =
 let workload_cost ?(hints = Autotune.no_hints) dev w =
   let key = workload_key dev w hints in
   match Hashtbl.find_opt cache key with
-  | Some c -> c
+  | Some c ->
+      incr cache_hits;
+      c
   | None ->
+      incr cache_misses;
       let out_sp = Conv_impl.workload_out_spatial w in
       let nest =
         Loop_nest.conv_nest_of_dims ~co:w.Conv_impl.w_out_channels
@@ -37,16 +83,18 @@ let workload_cost ?(hints = Autotune.no_hints) dev w =
           ~groups:w.w_groups
       in
       let _, breakdown = Autotune.tune ~hints dev nest in
+      if not (Cost_model.is_finite breakdown) then
+        Nas_error.fail (Nas_error.Non_finite Nas_error.Cost_model);
       let elems = w.w_out_channels * out_sp * out_sp in
       let cost = breakdown.Cost_model.total_s +. Cost_model.elementwise_time dev ~elems in
-      Hashtbl.replace cache key cost;
+      let cost = Guard.check_float ~source:Nas_error.Cost_model cost in
+      cache_insert key cost;
       cost
 
 let site_cost dev site (plan : Site_plan.t) =
   if not (Site_plan.valid site plan) then
-    invalid_arg
-      (Printf.sprintf "site_cost: plan %s invalid for %s" plan.Site_plan.sp_name
-         site.Conv_impl.site_label);
+    Nas_error.invalid_plan "site_cost: plan %s invalid for %s" plan.Site_plan.sp_name
+      site.Conv_impl.site_label;
   List.fold_left
     (fun acc w -> acc +. workload_cost ~hints:plan.Site_plan.sp_hints dev w)
     0.0
@@ -55,7 +103,8 @@ let site_cost dev site (plan : Site_plan.t) =
 let evaluate dev model ~plans =
   let sites = model.Models.sites in
   if Array.length plans <> Array.length sites then
-    invalid_arg "evaluate: one plan per site required";
+    Nas_error.shape_mismatch "evaluate: %d plans for %d sites (one plan per site)"
+      (Array.length plans) (Array.length sites);
   let scaled = Array.map (Models.scale_site model) sites in
   (* Paper-scale fixed workloads = the fixed prefix of cost_workloads. *)
   let fixed_scaled =

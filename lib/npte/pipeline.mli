@@ -24,14 +24,19 @@ type evaluated = {
 val workload_cost :
   ?hints:Autotune.hints -> Device.t -> Conv_impl.workload -> float
 (** Autotuned latency of one convolution plus its fused elementwise
-    (batch-norm + ReLU) pass.  Memoized. *)
+    (batch-norm + ReLU) pass.  Memoized.  A non-finite cost-model output
+    raises {!Nas_error.Fail}[ (Non_finite Cost_model)] (and is never
+    cached). *)
 
 val site_cost : Device.t -> Conv_impl.site -> Site_plan.t -> float
 (** Cost of one (paper-scale) site under a plan: the sum over the plan's
-    realized convolutions. *)
+    realized convolutions.  Raises {!Nas_error.Fail}[ (Invalid_plan _)] on
+    a plan inapplicable to the site. *)
 
 val evaluate : Device.t -> Models.t -> plans:Site_plan.t array -> evaluated
-(** Evaluate the model with one plan per transformable site. *)
+(** Evaluate the model with one plan per transformable site.  Raises
+    {!Nas_error.Fail}[ (Shape_mismatch _)] unless there is exactly one plan
+    per site. *)
 
 val baseline : Device.t -> Models.t -> evaluated
 (** [evaluate] with every site at {!Site_plan.baseline}. *)
@@ -42,3 +47,19 @@ val of_impls : Models.t -> Site_plan.t array
     hints). *)
 
 val clear_cache : unit -> unit
+
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_size : int;
+  cs_capacity : int;
+  cs_evictions : int;
+}
+
+val cache_stats : unit -> cache_stats
+(** Hit/miss/size/eviction counters of the workload memo cache, for the
+    supervisor's report. *)
+
+val set_cache_capacity : int -> unit
+(** Bound the memo cache (entries beyond the cap are evicted FIFO).
+    Default 8192; clamped to at least 1. *)

@@ -22,7 +22,7 @@ let encode t point =
   let value name =
     match List.assoc_opt name point with
     | Some v -> v
-    | None -> invalid_arg ("encode: missing iterator " ^ name)
+    | None -> Nas_error.shape_mismatch "encode: missing iterator %s" name
   in
   (* dv.(li).(di) = decoded digit value, or -1 if not yet assigned. *)
   let loops = Array.of_list t.Poly.loops in

@@ -1,0 +1,41 @@
+let magic = "NASPTE-CKPT1"
+let version = 1
+
+let err fmt = Printf.ksprintf (fun m -> Error (Nas_error.Checkpoint_error m)) fmt
+
+let save ~path v =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_binary_int oc version;
+        Marshal.to_channel oc v []);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error m -> err "save %s: %s" path m
+
+let load ~path =
+  if not (Sys.file_exists path) then err "load %s: no such file" path
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m =
+            try really_input_string ic (String.length magic)
+            with End_of_file -> ""
+          in
+          if m <> magic then err "load %s: bad magic" path
+          else
+            let v = input_binary_int ic in
+            if v <> version then err "load %s: version %d, expected %d" path v version
+            else Ok (Marshal.from_channel ic))
+    with
+    | Sys_error m -> err "load %s: %s" path m
+    | End_of_file | Failure _ -> err "load %s: truncated or corrupt" path
+
+let remove ~path = if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,18 @@
+(** Checkpoint files: versioned snapshots with atomic replace.
+
+    A snapshot is written to [path ^ ".tmp"] and renamed into place, so a
+    kill mid-write leaves the previous checkpoint intact.  Files carry a
+    magic string and format version; a stale or foreign file loads as a
+    structured {!Nas_error.Checkpoint_error}, never a crash.
+
+    Values are serialized with [Marshal] (no closures allowed), which is
+    safe here because checkpoints are only ever read back by the same
+    binary that wrote them; the caller guards against schema drift by
+    embedding its own compatibility key in the saved value. *)
+
+val save : path:string -> 'a -> (unit, Nas_error.t) result
+
+val load : path:string -> ('a, Nas_error.t) result
+
+val remove : path:string -> unit
+(** Delete the checkpoint if present (no error if missing). *)

@@ -1,0 +1,43 @@
+type target = Fisher_oracle | Cost_oracle | Plan_gen
+
+type t = {
+  f_seed : int option;  (* None = disabled *)
+  f_rate : float;
+  f_targets : target list;
+  mutable f_injected : int;
+}
+
+let all_targets = [ Fisher_oracle; Cost_oracle; Plan_gen ]
+let none = { f_seed = None; f_rate = 0.0; f_targets = []; f_injected = 0 }
+
+let make ?(targets = all_targets) ~seed ~rate () =
+  { f_seed = Some seed; f_rate = rate; f_targets = targets; f_injected = 0 }
+
+let enabled t = t.f_seed <> None && t.f_rate > 0.0
+
+let target_index = function Fisher_oracle -> 0 | Cost_oracle -> 1 | Plan_gen -> 2
+let target_name = function
+  | Fisher_oracle -> "fisher-oracle"
+  | Cost_oracle -> "cost-oracle"
+  | Plan_gen -> "plan-gen"
+
+let trip t ~key target =
+  match t.f_seed with
+  | None -> false
+  | Some seed ->
+      if t.f_rate <= 0.0 || not (List.mem target t.f_targets) then false
+      else begin
+        (* One throwaway generator per (candidate, target): the draw is a
+           pure function of the plan's seed, so evaluation order and resume
+           points cannot shift which candidates are faulted. *)
+        let rng =
+          Rng.create (seed + (key * 0x9E3779B1) + (target_index target * 0x85EBCA77))
+        in
+        let hit = Rng.uniform rng < t.f_rate in
+        if hit then t.f_injected <- t.f_injected + 1;
+        hit
+      end
+
+let corrupt_float t ~key target x = if trip t ~key target then Float.nan else x
+
+let injected t = t.f_injected

@@ -1,0 +1,41 @@
+(** Deterministic fault injection.
+
+    A fault plan corrupts one of the search's three oracles with a seeded
+    per-candidate probability.  Draws are counter-based — each
+    (candidate index, target) pair hashes its own generator — so whether
+    candidate [i] is faulted does not depend on evaluation order or on how
+    many candidates ran before it.  A checkpoint-resumed search therefore
+    sees exactly the faults the uninterrupted run would have seen.
+
+    Disabled ({!none}) everywhere by default; enabled only via
+    configuration or the [--fault-rate] CLI flag, and by the test-suite to
+    prove the search completes under injected faults. *)
+
+type target =
+  | Fisher_oracle  (** corrupt the Fisher Potential of a candidate *)
+  | Cost_oracle  (** corrupt the predicted latency of a candidate *)
+  | Plan_gen  (** abort plan generation for a candidate *)
+
+type t
+
+val all_targets : target list
+
+val none : t
+(** The disabled plan: never trips, costs nothing. *)
+
+val make : ?targets:target list -> seed:int -> rate:float -> unit -> t
+(** A plan tripping each of [targets] (default: all) independently with
+    probability [rate] per candidate. *)
+
+val enabled : t -> bool
+
+val trip : t -> key:int -> target -> bool
+(** Deterministic draw for (candidate [key], [target]); counts trips. *)
+
+val corrupt_float : t -> key:int -> target -> float -> float
+(** Returns NaN when the draw trips, the value unchanged otherwise. *)
+
+val injected : t -> int
+(** Trips recorded so far (across all targets). *)
+
+val target_name : target -> string

@@ -1,0 +1,19 @@
+let finite = Float.is_finite
+
+let all_finite a =
+  let n = Array.length a in
+  let rec go i = i >= n || (Float.is_finite (Array.unsafe_get a i) && go (i + 1)) in
+  go 0
+
+let check_float ~source x =
+  if Float.is_finite x then x else Nas_error.fail (Nas_error.Non_finite source)
+
+let check_array ~source a =
+  if all_finite a then a else Nas_error.fail (Nas_error.Non_finite source)
+
+let check_tensor ~source t =
+  ignore (check_array ~source (Tensor.data t));
+  t
+
+let float_result ~source x =
+  if Float.is_finite x then Ok x else Error (Nas_error.Non_finite source)

@@ -1,0 +1,23 @@
+(** Numeric guards.
+
+    A NaN propagating into a ranking comparison is worse than a crash: in
+    OCaml every [<=] against NaN is [false], so a NaN-scored candidate can
+    silently rank as best (or shield the true best).  These guards convert
+    any non-finite value into a structured {!Nas_error.Non_finite} rejection
+    at the point where it is produced. *)
+
+val finite : float -> bool
+val all_finite : float array -> bool
+
+val check_float : source:Nas_error.source -> float -> float
+(** Identity on finite floats; {!Nas_error.fail}s with [Non_finite source]
+    on NaN or infinity. *)
+
+val check_array : source:Nas_error.source -> float array -> float array
+(** Checks every element. *)
+
+val check_tensor : source:Nas_error.source -> Tensor.t -> Tensor.t
+(** Checks every element of the tensor's data. *)
+
+val float_result : source:Nas_error.source -> float -> (float, Nas_error.t) result
+(** Non-raising variant of {!check_float}. *)

@@ -1,0 +1,51 @@
+type t = {
+  mutable sv_evaluated : int;
+  mutable sv_quarantine : (string * Nas_error.t) list;  (* newest first *)
+  sv_budget : int option;
+  mutable sv_budget_hit : bool;
+}
+
+let create ?budget () =
+  { sv_evaluated = 0; sv_quarantine = []; sv_budget = budget; sv_budget_hit = false }
+
+let restore t ~evaluated ~quarantine =
+  t.sv_evaluated <- evaluated;
+  t.sv_quarantine <- quarantine
+
+let budget_exhausted t =
+  match t.sv_budget with Some b -> t.sv_evaluated >= b | None -> false
+
+let budget_hit t = t.sv_budget_hit
+
+let run t ~label f =
+  if budget_exhausted t then begin
+    t.sv_budget_hit <- true;
+    Error (Nas_error.Budget_exceeded label)
+  end
+  else begin
+    t.sv_evaluated <- t.sv_evaluated + 1;
+    match f () with
+    | v -> Ok v
+    | exception e -> (
+        match Nas_error.of_exn e with
+        | Some err ->
+            t.sv_quarantine <- (label, err) :: t.sv_quarantine;
+            Error err
+        | None -> raise e)
+  end
+
+let evaluated t = t.sv_evaluated
+let quarantined t = List.rev t.sv_quarantine
+let raw_quarantine t = t.sv_quarantine
+let class_counts t = Nas_error.count_classes t.sv_quarantine
+
+let pp_report ppf t =
+  let q = List.length t.sv_quarantine in
+  Format.fprintf ppf "candidates evaluated: %d, quarantined: %d" t.sv_evaluated q;
+  if budget_hit t then Format.fprintf ppf " (budget exhausted)";
+  if q > 0 then begin
+    Format.fprintf ppf "@.failure attribution:";
+    List.iter
+      (fun (cls, n) -> Format.fprintf ppf "@.  %-28s %d" cls n)
+      (class_counts t)
+  end

@@ -1,0 +1,42 @@
+(** Per-candidate evaluation supervisor.
+
+    Wraps each candidate evaluation, converts classifiable exceptions into
+    quarantine entries (label × {!Nas_error.t}), enforces a deterministic
+    work budget, and renders the failure-attribution report.  A search
+    using the supervisor degrades gracefully: one bad candidate costs one
+    quarantine entry, never the run. *)
+
+type t
+
+val create : ?budget:int -> unit -> t
+(** [budget] caps the number of evaluations this supervisor will run;
+    further {!run} calls return [Error (Budget_exceeded _)] without
+    executing. *)
+
+val restore : t -> evaluated:int -> quarantine:(string * Nas_error.t) list -> unit
+(** Reload state from a checkpoint ([quarantine] newest-first, as returned
+    by {!raw_quarantine}). *)
+
+val run : t -> label:string -> (unit -> 'a) -> ('a, Nas_error.t) result
+(** Evaluate one candidate.  Exceptions classified by {!Nas_error.of_exn}
+    quarantine the candidate under [label]; unclassifiable exceptions
+    propagate.  Budget exhaustion is reported but not quarantined (the
+    candidate was never attempted). *)
+
+val evaluated : t -> int
+(** Evaluations attempted (successes + quarantines, not budget refusals). *)
+
+val budget_exhausted : t -> bool
+val budget_hit : t -> bool
+(** Whether some {!run} call was actually refused. *)
+
+val quarantined : t -> (string * Nas_error.t) list
+(** Quarantine entries in evaluation order. *)
+
+val raw_quarantine : t -> (string * Nas_error.t) list
+(** Newest-first internal order, for checkpointing with {!restore}. *)
+
+val class_counts : t -> (string * int) list
+
+val pp_report : Format.formatter -> t -> unit
+(** The failure-attribution table. *)

@@ -12,6 +12,10 @@ type result = {
   r_baseline_fisher : float;
   r_explored : int;
   r_rejected : int;
+  r_quarantined : (string * Nas_error.t) list;
+  r_evaluated : int;
+  r_complete : bool;
+  r_checkpoint_error : Nas_error.t option;
   r_wall_s : float;
 }
 
@@ -92,95 +96,221 @@ let fallback_candidate model baseline baseline_fisher =
     cd_macs = baseline.Pipeline.ev_macs;
     cd_params = baseline.Pipeline.ev_params }
 
-let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng ~device
+let generate_pool rng model ~candidates ~mutate_prob =
+  let seeds = uniform_candidates model in
+  let n_random = max 0 (candidates - List.length seeds) in
+  Array.of_list
+    (seeds
+    @ List.init n_random (fun _ ->
+          random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob)))
+
+(* Evaluate one candidate under guards and (optional) injected faults.
+   [Some cand] = survivor, [None] = Fisher-rejected (a healthy outcome);
+   every failure mode raises a structured {!Nas_error.Fail} for the
+   supervisor to quarantine. *)
+let eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans =
+  if Fault.trip fault ~key:index Fault.Plan_gen then
+    Nas_error.fail (Nas_error.Injected_fault "plan generation");
+  Array.iteri
+    (fun i p ->
+      if not (Site_plan.valid model.Models.sites.(i) p) then
+        Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
+          p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
+    plans;
+  let scores = oracle_scores oracle model probe plans in
+  let total =
+    Fault.corrupt_float fault ~key:index Fault.Fisher_oracle scores.Fisher.total
+  in
+  let total = Guard.check_float ~source:Nas_error.Fisher_score total in
+  ignore (Guard.check_array ~source:Nas_error.Fisher_score scores.Fisher.per_site);
+  if not (Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores) then None
+  else begin
+    let ev = Pipeline.evaluate device model ~plans in
+    let latency =
+      Fault.corrupt_float fault ~key:index Fault.Cost_oracle ev.Pipeline.ev_latency_s
+    in
+    let latency = Guard.check_float ~source:Nas_error.Cost_model latency in
+    Some
+      { cd_plans = plans;
+        cd_fisher = total;
+        cd_latency_s = latency;
+        cd_macs = ev.ev_macs;
+        cd_params = ev.ev_params }
+  end
+
+(* --- checkpoint/resume -------------------------------------------------- *)
+
+(* The pool is regenerated deterministically from the caller's RNG on
+   resume, so the checkpoint only carries progress: the next pool index,
+   the counters, the incumbent and the quarantine list.  [ck_key] rejects
+   checkpoints from a different configuration. *)
+type ckpt_state = {
+  ck_key : string;
+  ck_done : int;
+  ck_rejected : int;
+  ck_best : candidate option;
+  ck_quarantine : (string * Nas_error.t) list;  (* newest first *)
+}
+
+let ckpt_key model device ~pool_size ~slack =
+  Printf.sprintf "%s|%s|%d|%g" model.Models.name device.Device.short_name pool_size
+    slack
+
+let load_checkpoint path key =
+  match Checkpoint.load ~path with
+  | Ok st when st.ck_key = key -> Some st
+  | Ok _ | Error _ -> None
+
+let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
+    ?(fault = Fault.none) ?budget ?checkpoint ?(checkpoint_every = 25) ~rng ~device
     ~probe model =
   let start = Unix.gettimeofday () in
   let baseline = Pipeline.baseline device model in
   let oracle = make_oracle rng model probe in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
+  let pool = generate_pool rng model ~candidates ~mutate_prob in
+  let n = Array.length pool in
+  let key = ckpt_key model device ~pool_size:n ~slack in
+  let resumed =
+    match checkpoint with Some path -> load_checkpoint path key | None -> None
+  in
+  let supervisor = Supervisor.create ?budget () in
   let rejected = ref 0 in
   let best = ref None in
-  let seeds = uniform_candidates model in
-  let n_random = max 0 (candidates - List.length seeds) in
-  let pool =
-    seeds
-    @ List.init n_random (fun _ ->
-          random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob))
+  let first = ref 0 in
+  (match resumed with
+  | Some st ->
+      first := min st.ck_done n;
+      rejected := st.ck_rejected;
+      best := st.ck_best;
+      Supervisor.restore supervisor ~evaluated:st.ck_done ~quarantine:st.ck_quarantine
+  | None -> ());
+  let checkpoint_error = ref None in
+  let save_checkpoint done_ =
+    match checkpoint with
+    | None -> ()
+    | Some path -> (
+        match
+          Checkpoint.save ~path
+            { ck_key = key;
+              ck_done = done_;
+              ck_rejected = !rejected;
+              ck_best = !best;
+              ck_quarantine = Supervisor.raw_quarantine supervisor }
+        with
+        | Ok () -> ()
+        | Error e -> if !checkpoint_error = None then checkpoint_error := Some e)
   in
-  List.iter
-    (fun plans ->
-      let scores = oracle_scores oracle model probe plans in
-      if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then begin
-        let ev = Pipeline.evaluate device model ~plans in
-        let cand =
-          { cd_plans = plans;
-            cd_fisher = scores.Fisher.total;
-            cd_latency_s = ev.Pipeline.ev_latency_s;
-            cd_macs = ev.ev_macs;
-            cd_params = ev.ev_params }
-        in
-        match !best with
-        | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
-        | _ -> best := Some cand
-      end
-      else incr rejected)
-    pool;
-  let best =
+  let i = ref !first in
+  let stopped = ref false in
+  while (not !stopped) && !i < n do
+    if Supervisor.budget_exhausted supervisor then begin
+      (* Graceful out-of-budget stop: persist progress and return the
+         incumbent rather than discarding the explored prefix. *)
+      ignore
+        (Supervisor.run supervisor ~label:(plans_signature pool.(!i)) (fun () -> ()));
+      save_checkpoint !i;
+      stopped := true
+    end
+    else begin
+      let plans = pool.(!i) in
+      let index = !i in
+      (match
+         Supervisor.run supervisor ~label:(plans_signature plans) (fun () ->
+             eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans)
+       with
+      | Ok (Some cand) -> (
+          match !best with
+          | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+          | _ -> best := Some cand)
+      | Ok None -> incr rejected
+      | Error _ -> ());
+      incr i;
+      if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
+        save_checkpoint !i
+    end
+  done;
+  if not !stopped then save_checkpoint n;
+  let best_cand =
     match !best with
     | Some b -> b
     | None -> fallback_candidate model baseline baseline_fisher
   in
-  { r_best = best;
+  { r_best = best_cand;
     r_baseline = baseline;
     r_baseline_fisher = baseline_fisher;
-    r_explored = candidates;
+    r_explored = n;
     r_rejected = !rejected;
+    r_quarantined = Supervisor.quarantined supervisor;
+    r_evaluated = !i - !first;
+    r_complete = not !stopped;
+    r_checkpoint_error = !checkpoint_error;
     r_wall_s = Unix.gettimeofday () -. start }
 
 let speedup r = r.r_baseline.Pipeline.ev_latency_s /. r.r_best.cd_latency_s
+
+let quarantine_counts r = Nas_error.count_classes r.r_quarantined
 
 let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
     ~devices ~probe model =
   let start = Unix.gettimeofday () in
   let oracle = make_oracle rng model probe in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
-  (* Phase 1 (device-independent): generate the pool and Fisher-filter it. *)
+  (* Phase 1 (device-independent): generate the pool and Fisher-filter it,
+     quarantining candidates whose scores fail the guards. *)
+  let supervisor = Supervisor.create () in
   let rejected = ref 0 in
   let survivors = ref [] in
-  let seeds = uniform_candidates model in
-  let n_random = max 0 (candidates - List.length seeds) in
-  let pool =
-    seeds
-    @ List.init n_random (fun _ ->
-          random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob))
-  in
-  List.iter
+  let pool = generate_pool rng model ~candidates ~mutate_prob in
+  Array.iter
     (fun plans ->
-      let scores = oracle_scores oracle model probe plans in
-      if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then
-        survivors := (plans, scores.Fisher.total) :: !survivors
-      else incr rejected)
+      match
+        Supervisor.run supervisor ~label:(plans_signature plans) (fun () ->
+            let scores = oracle_scores oracle model probe plans in
+            let total =
+              Guard.check_float ~source:Nas_error.Fisher_score scores.Fisher.total
+            in
+            ignore
+              (Guard.check_array ~source:Nas_error.Fisher_score scores.Fisher.per_site);
+            if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then
+              Some (plans, total)
+            else None)
+      with
+      | Ok (Some survivor) -> survivors := survivor :: !survivors
+      | Ok None -> incr rejected
+      | Error _ -> ())
     pool;
+  let quarantined = Supervisor.quarantined supervisor in
   let wall_shared = Unix.gettimeofday () -. start in
-  (* Phase 2 (per device): rank the survivors with the cost model. *)
+  (* Phase 2 (per device): rank the survivors with the cost model.  A
+     candidate whose cost blows up on one device stays rankable on the
+     others. *)
   List.map
     (fun device ->
       let dev_start = Unix.gettimeofday () in
       let baseline = Pipeline.baseline device model in
+      let dev_supervisor = Supervisor.create () in
       let best = ref None in
       List.iter
         (fun (plans, fisher) ->
-          let ev = Pipeline.evaluate device model ~plans in
-          let cand =
-            { cd_plans = plans;
-              cd_fisher = fisher;
-              cd_latency_s = ev.Pipeline.ev_latency_s;
-              cd_macs = ev.ev_macs;
-              cd_params = ev.ev_params }
-          in
-          match !best with
-          | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
-          | _ -> best := Some cand)
+          match
+            Supervisor.run dev_supervisor ~label:(plans_signature plans) (fun () ->
+                let ev = Pipeline.evaluate device model ~plans in
+                let latency =
+                  Guard.check_float ~source:Nas_error.Cost_model
+                    ev.Pipeline.ev_latency_s
+                in
+                { cd_plans = plans;
+                  cd_fisher = fisher;
+                  cd_latency_s = latency;
+                  cd_macs = ev.ev_macs;
+                  cd_params = ev.ev_params })
+          with
+          | Ok cand -> (
+              match !best with
+              | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+              | _ -> best := Some cand)
+          | Error _ -> ())
         !survivors;
       let best =
         match !best with
@@ -191,7 +321,11 @@ let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
         { r_best = best;
           r_baseline = baseline;
           r_baseline_fisher = baseline_fisher;
-          r_explored = candidates;
+          r_explored = Array.length pool;
           r_rejected = !rejected;
+          r_quarantined = quarantined @ Supervisor.quarantined dev_supervisor;
+          r_evaluated = Array.length pool;
+          r_complete = true;
+          r_checkpoint_error = None;
           r_wall_s = wall_shared +. (Unix.gettimeofday () -. dev_start) } ))
     devices

@@ -1,7 +1,14 @@
 (** The paper's unified search (§6): enumerate random interleaved
     transformation sequences, reject capacity-damaging candidates with the
     Fisher Potential legality check (no training), and rank the survivors
-    with the autotuned hardware cost model. *)
+    with the autotuned hardware cost model.
+
+    Candidate evaluation is supervised: a malformed plan, a non-finite
+    Fisher score or a cost-model divergence quarantines that one candidate
+    (recorded with a structured {!Nas_error.t}) and the search continues to
+    a valid survivor.  A deterministic fault-injection layer ({!Fault}) and
+    checkpoint/resume make the degradation path testable and an
+    interrupted search resumable. *)
 
 type candidate = {
   cd_plans : Site_plan.t array;
@@ -17,6 +24,13 @@ type result = {
   r_baseline_fisher : float;
   r_explored : int;  (** configurations generated *)
   r_rejected : int;  (** configurations rejected by the Fisher check *)
+  r_quarantined : (string * Nas_error.t) list;
+      (** failed candidates: (plan signature, structured error) *)
+  r_evaluated : int;  (** configurations processed in this run *)
+  r_complete : bool;  (** false iff the run stopped on its work budget *)
+  r_checkpoint_error : Nas_error.t option;
+      (** first checkpoint-write failure, if any — the search itself is
+          unaffected, but resume will not be possible *)
   r_wall_s : float;  (** search wall-clock time *)
 }
 
@@ -26,10 +40,18 @@ val random_plans :
     random valid sequence from {!Sequences.standard_menu} with probability
     [mutate_prob]. *)
 
+val plans_signature : Site_plan.t array -> string
+(** The per-site plan names joined with [";"] — the key used for Fisher
+    memoization, quarantine attribution and checkpointing. *)
+
 val search :
   ?candidates:int ->
   ?mutate_prob:float ->
   ?slack:float ->
+  ?fault:Fault.t ->
+  ?budget:int ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
   rng:Rng.t ->
   device:Device.t ->
   probe:Train.batch ->
@@ -37,10 +59,27 @@ val search :
   result
 (** Runs the search (default 1000 candidates, as in §6).  [probe] is the
     fixed minibatch used for every Fisher evaluation; [slack] is the Fisher
-    legality slack. *)
+    legality slack.
+
+    [fault] (default {!Fault.none}) injects deterministic faults into the
+    Fisher oracle / cost model / plan generation; the supervisor quarantines
+    the corrupted candidates and the search still completes.
+
+    [budget] caps candidate evaluations for this run; on exhaustion the
+    search saves a checkpoint (if [checkpoint] is set), returns its
+    incumbent and reports [r_complete = false].
+
+    [checkpoint] names a snapshot file: progress is saved every
+    [checkpoint_every] candidates (default 25) and on completion, and an
+    existing compatible snapshot is resumed instead of restarting.  The
+    candidate pool is regenerated deterministically from [rng], so a
+    resumed search reproduces the uninterrupted run's best candidate. *)
 
 val speedup : result -> float
 (** Baseline latency over best-candidate latency. *)
+
+val quarantine_counts : result -> (string * int) list
+(** Per-error-class quarantine counts (see {!Nas_error.class_name}). *)
 
 val search_multi :
   ?candidates:int ->
@@ -53,4 +92,6 @@ val search_multi :
   (Device.t * result) list
 (** Like {!search} for several devices at once: the candidate pool and its
     Fisher evaluations (the expensive part) are shared; only the cost
-    ranking is per-device. *)
+    ranking is per-device.  Guarded like {!search} (shared-phase
+    quarantines appear in every device's [r_quarantined]); fault injection
+    and checkpointing are single-device features. *)

@@ -130,7 +130,7 @@ let t_pipeline_rejects_wrong_arity () =
     (try
        ignore (Pipeline.evaluate Device.i7 m ~plans:[| Site_plan.baseline |]);
        false
-     with Invalid_argument _ -> true)
+     with Nas_error.Fail (Nas_error.Shape_mismatch _) -> true)
 
 let t_of_impls_roundtrip () =
   let m = model () in

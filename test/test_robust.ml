@@ -1,0 +1,362 @@
+(* Robustness tests: the error taxonomy, numeric guards, deterministic
+   fault injection, the evaluation supervisor, checkpoint round-trips, and
+   the hardened unified search (NaN-guard quarantine, completion under
+   injected faults, checkpoint/resume determinism). *)
+
+let setup () =
+  let rng = Rng.create 77 in
+  let model = Models.build (Models.resnet18 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  (rng, model, probe)
+
+(* --- taxonomy ---------------------------------------------------------- *)
+
+let t_error_classes () =
+  let errs =
+    [ Nas_error.Invalid_plan "p"; Shape_mismatch "s";
+      Non_finite Nas_error.Fisher_score; Non_finite Nas_error.Cost_model;
+      Budget_exceeded "b"; Injected_fault "f"; Checkpoint_error "c";
+      Eval_failure "e" ]
+  in
+  let classes = List.map Nas_error.class_name errs in
+  Alcotest.(check int) "classes distinct" (List.length errs)
+    (List.length (List.sort_uniq compare classes));
+  List.iter
+    (fun e -> Alcotest.(check bool) "printable" true (String.length (Nas_error.to_string e) > 0))
+    errs
+
+let t_of_exn_classification () =
+  let is cls = function Some e -> Nas_error.class_name e = cls | None -> false in
+  Alcotest.(check bool) "structured passes through" true
+    (is "invalid-plan" (Nas_error.of_exn (Nas_error.Fail (Invalid_plan "x"))));
+  Alcotest.(check bool) "Invalid_argument mapped" true
+    (is "eval-failure" (Nas_error.of_exn (Invalid_argument "x")));
+  Alcotest.(check bool) "Failure mapped" true
+    (is "eval-failure" (Nas_error.of_exn (Failure "x")));
+  Alcotest.(check bool) "Division_by_zero mapped" true
+    (is "eval-failure" (Nas_error.of_exn Division_by_zero));
+  Alcotest.(check bool) "Out_of_memory not swallowed" true
+    (Nas_error.of_exn Out_of_memory = None)
+
+let t_guard_wrapper () =
+  (match Nas_error.guard (fun () -> 41 + 1) with
+  | Ok v -> Alcotest.(check int) "ok value" 42 v
+  | Error _ -> Alcotest.fail "guard failed a healthy thunk");
+  (match Nas_error.guard (fun () -> Nas_error.fail (Non_finite Nas_error.Cost_model)) with
+  | Ok _ -> Alcotest.fail "guard passed a failing thunk"
+  | Error e ->
+      Alcotest.(check string) "classified" "non-finite:cost-model" (Nas_error.class_name e));
+  Alcotest.(check bool) "unclassified propagates" true
+    (try ignore (Nas_error.guard (fun () -> raise Exit)); false with Exit -> true)
+
+let t_count_classes () =
+  let q =
+    [ ("a", Nas_error.Non_finite Nas_error.Fisher_score);
+      ("b", Nas_error.Non_finite Nas_error.Fisher_score);
+      ("c", Nas_error.Invalid_plan "x") ]
+  in
+  Alcotest.(check (list (pair string int))) "sorted by count"
+    [ ("non-finite:fisher-score", 2); ("invalid-plan", 1) ]
+    (Nas_error.count_classes q)
+
+(* --- numeric guards ----------------------------------------------------- *)
+
+let t_guard_floats () =
+  Alcotest.(check (float 0.0)) "finite passes" 1.5
+    (Guard.check_float ~source:Nas_error.Cost_model 1.5);
+  let rejects x =
+    try ignore (Guard.check_float ~source:Nas_error.Fisher_score x); false
+    with Nas_error.Fail (Non_finite Nas_error.Fisher_score) -> true
+  in
+  Alcotest.(check bool) "nan rejected" true (rejects Float.nan);
+  Alcotest.(check bool) "inf rejected" true (rejects Float.infinity);
+  Alcotest.(check bool) "neg-inf rejected" true (rejects Float.neg_infinity);
+  Alcotest.(check bool) "array scan" false (Guard.all_finite [| 0.0; Float.nan |]);
+  Alcotest.(check bool) "array finite" true (Guard.all_finite [| 0.0; -1.0; 3.5 |])
+
+let t_fisher_finite () =
+  Alcotest.(check bool) "finite scores" true
+    (Fisher.finite { Fisher.per_site = [| 1.0; 2.0 |]; total = 3.0 });
+  Alcotest.(check bool) "nan total" false
+    (Fisher.finite { Fisher.per_site = [| 1.0 |]; total = Float.nan });
+  Alcotest.(check bool) "nan site" false
+    (Fisher.finite { Fisher.per_site = [| Float.nan |]; total = 1.0 })
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let t_fault_deterministic () =
+  let draws fault =
+    List.init 50 (fun i -> Fault.trip fault ~key:i Fault.Fisher_oracle)
+  in
+  let a = draws (Fault.make ~seed:3 ~rate:0.4 ()) in
+  let b = draws (Fault.make ~seed:3 ~rate:0.4 ()) in
+  Alcotest.(check (list bool)) "same seed, same draws" a b;
+  let c = draws (Fault.make ~seed:4 ~rate:0.4 ()) in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let t_fault_rates () =
+  let never = Fault.make ~seed:1 ~rate:0.0 () in
+  let always = Fault.make ~seed:1 ~rate:1.0 () in
+  Alcotest.(check bool) "rate 0 never trips" false
+    (List.exists (fun i -> Fault.trip never ~key:i Fault.Cost_oracle) (List.init 20 Fun.id));
+  Alcotest.(check bool) "rate 1 always trips" true
+    (List.for_all (fun i -> Fault.trip always ~key:i Fault.Cost_oracle) (List.init 20 Fun.id));
+  Alcotest.(check int) "trips counted" 20 (Fault.injected always);
+  Alcotest.(check bool) "none disabled" false (Fault.enabled Fault.none);
+  Alcotest.(check bool) "none never trips" false (Fault.trip Fault.none ~key:0 Fault.Plan_gen)
+
+let t_fault_targets () =
+  let only_fisher = Fault.make ~targets:[ Fault.Fisher_oracle ] ~seed:5 ~rate:1.0 () in
+  Alcotest.(check bool) "selected target trips" true
+    (Fault.trip only_fisher ~key:0 Fault.Fisher_oracle);
+  Alcotest.(check bool) "other target spared" false
+    (Fault.trip only_fisher ~key:0 Fault.Cost_oracle);
+  Alcotest.(check bool) "corrupt returns nan" true
+    (Float.is_nan (Fault.corrupt_float only_fisher ~key:1 Fault.Fisher_oracle 1.0));
+  Alcotest.(check (float 0.0)) "corrupt spares" 1.0
+    (Fault.corrupt_float only_fisher ~key:1 Fault.Cost_oracle 1.0)
+
+(* --- supervisor --------------------------------------------------------- *)
+
+let t_supervisor_quarantine () =
+  let sup = Supervisor.create () in
+  (match Supervisor.run sup ~label:"good" (fun () -> 1) with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "healthy eval");
+  (match Supervisor.run sup ~label:"bad" (fun () -> Nas_error.fail (Invalid_plan "x")) with
+  | Error (Nas_error.Invalid_plan _) -> ()
+  | _ -> Alcotest.fail "failure not classified");
+  Alcotest.(check int) "evaluated" 2 (Supervisor.evaluated sup);
+  Alcotest.(check (list (pair string int))) "attribution" [ ("invalid-plan", 1) ]
+    (Supervisor.class_counts sup);
+  match Supervisor.quarantined sup with
+  | [ ("bad", Nas_error.Invalid_plan _) ] -> ()
+  | _ -> Alcotest.fail "quarantine entry"
+
+let t_supervisor_budget () =
+  let sup = Supervisor.create ~budget:2 () in
+  ignore (Supervisor.run sup ~label:"a" (fun () -> ()));
+  ignore (Supervisor.run sup ~label:"b" (fun () -> ()));
+  Alcotest.(check bool) "exhausted" true (Supervisor.budget_exhausted sup);
+  Alcotest.(check bool) "not yet refused" false (Supervisor.budget_hit sup);
+  let ran = ref false in
+  (match Supervisor.run sup ~label:"c" (fun () -> ran := true) with
+  | Error (Nas_error.Budget_exceeded _) -> ()
+  | _ -> Alcotest.fail "budget not enforced");
+  Alcotest.(check bool) "refused thunk never ran" false !ran;
+  Alcotest.(check bool) "refusal recorded" true (Supervisor.budget_hit sup);
+  Alcotest.(check int) "refusal not an evaluation" 2 (Supervisor.evaluated sup);
+  Alcotest.(check int) "refusal not quarantined" 0 (List.length (Supervisor.quarantined sup))
+
+(* --- checkpoint --------------------------------------------------------- *)
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let t_checkpoint_roundtrip () =
+  let path = tmp_path "nas_pte_test_ckpt.bin" in
+  Checkpoint.remove ~path;
+  let v = ("state", [ 1; 2; 3 ], 2.5) in
+  (match Checkpoint.save ~path v with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Nas_error.to_string e));
+  (match Checkpoint.load ~path with
+  | Ok w ->
+      let (s, l, f) : string * int list * float = w in
+      Alcotest.(check string) "string field" "state" s;
+      Alcotest.(check (list int)) "list field" [ 1; 2; 3 ] l;
+      Alcotest.(check (float 0.0)) "float field" 2.5 f
+  | Error e -> Alcotest.fail (Nas_error.to_string e));
+  Checkpoint.remove ~path;
+  Alcotest.(check bool) "removed" false (Sys.file_exists path)
+
+let t_checkpoint_rejects_garbage () =
+  let missing =
+    match Checkpoint.load ~path:(tmp_path "nas_pte_no_such_ckpt.bin") with
+    | Error (Nas_error.Checkpoint_error _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing file is a structured error" true missing;
+  let path = tmp_path "nas_pte_bad_ckpt.bin" in
+  let oc = open_out_bin path in
+  output_string oc "not a checkpoint";
+  close_out oc;
+  let bad =
+    match Checkpoint.load ~path with
+    | Error (Nas_error.Checkpoint_error _) -> true
+    | _ -> false
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "bad magic is a structured error" true bad
+
+(* --- hardened search ---------------------------------------------------- *)
+
+let quarantine_has r signature =
+  List.exists (fun (s, _) -> s = signature) r.Unified_search.r_quarantined
+
+let t_search_nan_fisher_quarantined () =
+  (* Every candidate's Fisher score is forced to NaN: each must be
+     quarantined as non-finite, never selected; the search degrades to the
+     baseline fallback instead of crashing or mis-ranking. *)
+  let rng, model, probe = setup () in
+  let fault = Fault.make ~targets:[ Fault.Fisher_oracle ] ~seed:9 ~rate:1.0 () in
+  let r =
+    Unified_search.search ~candidates:15 ~fault ~rng:(Rng.split rng)
+      ~device:Device.i7 ~probe model
+  in
+  Alcotest.(check bool) "completed" true r.Unified_search.r_complete;
+  Alcotest.(check int) "all candidates quarantined" r.r_explored
+    (List.length r.r_quarantined);
+  List.iter
+    (fun (_, e) ->
+      Alcotest.(check string) "attributed to the fisher guard"
+        "non-finite:fisher-score" (Nas_error.class_name e))
+    r.r_quarantined;
+  Alcotest.(check bool) "fallback is the baseline network" true
+    (Array.for_all (fun p -> p.Site_plan.sp_name = "baseline") r.r_best.Unified_search.cd_plans);
+  Alcotest.(check bool) "selected latency finite" true
+    (Float.is_finite r.r_best.Unified_search.cd_latency_s)
+
+let t_search_survives_30pct_faults () =
+  let rng, model, probe = setup () in
+  let fault = Fault.make ~seed:11 ~rate:0.3 () in
+  let r =
+    Unified_search.search ~candidates:30 ~fault ~rng:(Rng.split rng)
+      ~device:Device.i7 ~probe model
+  in
+  Alcotest.(check bool) "completed" true r.Unified_search.r_complete;
+  Alcotest.(check bool) "some faults actually fired" true (Fault.injected fault > 0);
+  Alcotest.(check bool) "quarantine non-empty" true (r.r_quarantined <> []);
+  Alcotest.(check bool) "attribution counts match" true
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Unified_search.quarantine_counts r)
+    = List.length r.r_quarantined);
+  (* The survivor must be a valid, non-quarantined candidate. *)
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "winner plans valid" true
+        (Site_plan.valid model.Models.sites.(i) p))
+    r.r_best.Unified_search.cd_plans;
+  Alcotest.(check bool) "winner not quarantined" false
+    (quarantine_has r (Unified_search.plans_signature r.r_best.Unified_search.cd_plans));
+  Alcotest.(check bool) "winner latency finite" true
+    (Float.is_finite r.r_best.Unified_search.cd_latency_s)
+
+let t_search_fault_free_unchanged () =
+  (* The supervised path with no faults must reproduce plain search results
+     (same seed, same best). *)
+  let run fault =
+    let rng, model, probe = setup () in
+    let r =
+      Unified_search.search ~candidates:20 ?fault ~rng:(Rng.split rng)
+        ~device:Device.i7 ~probe model
+    in
+    r.Unified_search.r_best.Unified_search.cd_latency_s
+  in
+  Alcotest.(check (float 1e-12)) "fault layer off = identity" (run None)
+    (run (Some Fault.none))
+
+let t_search_checkpoint_resume () =
+  let path = tmp_path "nas_pte_search_ckpt.bin" in
+  Checkpoint.remove ~path;
+  let run ?budget ?checkpoint () =
+    let rng, model, probe = setup () in
+    Unified_search.search ~candidates:20 ?budget ?checkpoint ~checkpoint_every:5
+      ~rng:(Rng.split rng) ~device:Device.i7 ~probe model
+  in
+  let full = run () in
+  let partial = run ~budget:7 ~checkpoint:path () in
+  Alcotest.(check bool) "budget stop reported" false partial.Unified_search.r_complete;
+  Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
+  let resumed = run ~checkpoint:path () in
+  Alcotest.(check bool) "resumed run completes" true resumed.Unified_search.r_complete;
+  Alcotest.(check bool) "resume skips the explored prefix" true
+    (resumed.Unified_search.r_evaluated < full.Unified_search.r_explored);
+  Alcotest.(check (float 1e-12)) "same best latency as uninterrupted"
+    full.Unified_search.r_best.Unified_search.cd_latency_s
+    resumed.Unified_search.r_best.Unified_search.cd_latency_s;
+  Alcotest.(check string) "same best plans as uninterrupted"
+    (Unified_search.plans_signature full.Unified_search.r_best.Unified_search.cd_plans)
+    (Unified_search.plans_signature resumed.Unified_search.r_best.Unified_search.cd_plans);
+  Alcotest.(check int) "same rejection accounting" full.Unified_search.r_rejected
+    resumed.Unified_search.r_rejected;
+  Checkpoint.remove ~path
+
+(* --- bounded pipeline cache ---------------------------------------------- *)
+
+let t_cache_bounded () =
+  Pipeline.clear_cache ();
+  Pipeline.set_cache_capacity 4;
+  let w co =
+    { Conv_impl.w_in_channels = 4; w_out_channels = co; w_kernel = 3; w_stride = 1;
+      w_groups = 1; w_spatial = 8; w_label = Printf.sprintf "test-co%d" co }
+  in
+  List.iter (fun co -> ignore (Pipeline.workload_cost Device.i7 (w co))) [ 1; 2; 3; 4; 5; 6 ];
+  let s = Pipeline.cache_stats () in
+  Alcotest.(check bool) "size capped" true (s.Pipeline.cs_size <= 4);
+  Alcotest.(check int) "all were misses" 6 s.cs_misses;
+  Alcotest.(check bool) "evictions happened" true (s.cs_evictions > 0);
+  (* Re-costing an evicted workload must reproduce the same value. *)
+  let a = Pipeline.workload_cost Device.i7 (w 1) in
+  Pipeline.clear_cache ();
+  Pipeline.set_cache_capacity 8192;
+  let b = Pipeline.workload_cost Device.i7 (w 1) in
+  Alcotest.(check (float 1e-12)) "eviction is value-transparent" a b
+
+let t_cache_stats_counts () =
+  Pipeline.clear_cache ();
+  let w =
+    { Conv_impl.w_in_channels = 4; w_out_channels = 4; w_kernel = 3; w_stride = 1;
+      w_groups = 1; w_spatial = 8; w_label = "test-stats" }
+  in
+  ignore (Pipeline.workload_cost Device.i7 w);
+  ignore (Pipeline.workload_cost Device.i7 w);
+  ignore (Pipeline.workload_cost Device.i7 w);
+  let s = Pipeline.cache_stats () in
+  Alcotest.(check int) "one miss" 1 s.Pipeline.cs_misses;
+  Alcotest.(check int) "two hits" 2 s.cs_hits;
+  Alcotest.(check int) "one entry" 1 s.cs_size
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"fault draws are pure in (seed, key, target)" ~count:100
+      (pair small_nat (int_range 0 10_000))
+      (fun (seed, key) ->
+        let t1 = Fault.make ~seed ~rate:0.5 () in
+        let t2 = Fault.make ~seed ~rate:0.5 () in
+        Fault.trip t1 ~key Fault.Cost_oracle = Fault.trip t2 ~key Fault.Cost_oracle);
+    Test.make ~name:"guard accepts exactly the finite floats" ~count:100
+      (oneof [ float; always Float.nan; always Float.infinity ])
+      (fun x ->
+        let guarded =
+          try Float.is_finite (Guard.check_float ~source:Nas_error.Cost_model x)
+          with Nas_error.Fail (Non_finite _) -> not (Float.is_finite x)
+        in
+        guarded) ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "robust"
+    [ ( "taxonomy",
+        [ quick "classes" t_error_classes;
+          quick "of_exn" t_of_exn_classification;
+          quick "guard wrapper" t_guard_wrapper;
+          quick "count_classes" t_count_classes ] );
+      ( "guards",
+        [ quick "floats" t_guard_floats; quick "fisher finite" t_fisher_finite ] );
+      ( "fault",
+        [ quick "deterministic" t_fault_deterministic;
+          quick "rates" t_fault_rates;
+          quick "targets" t_fault_targets ] );
+      ( "supervisor",
+        [ quick "quarantine" t_supervisor_quarantine;
+          quick "budget" t_supervisor_budget ] );
+      ( "checkpoint",
+        [ quick "roundtrip" t_checkpoint_roundtrip;
+          quick "garbage" t_checkpoint_rejects_garbage ] );
+      ( "search",
+        [ quick "nan fisher quarantined" t_search_nan_fisher_quarantined;
+          quick "survives 30% faults" t_search_survives_30pct_faults;
+          quick "fault-free identity" t_search_fault_free_unchanged;
+          quick "checkpoint resume" t_search_checkpoint_resume ] );
+      ( "cache",
+        [ quick "bounded" t_cache_bounded; quick "stats" t_cache_stats_counts ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]
