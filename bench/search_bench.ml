@@ -1,0 +1,82 @@
+(* Search-throughput benchmark for the parallel evaluation engine.
+
+   Runs the same seeded unified search serially and with a worker pool,
+   reports candidates/sec for each configuration, and cross-checks that
+   every configuration converged to the identical winner (the engine's
+   determinism contract).  Results land in BENCH_search.json.
+
+   Usage:  dune exec bench/search_bench.exe [-- candidates]
+   Note: speedup over serial requires actual cores; the JSON records
+   [available_cores] so single-core CI numbers are interpretable. *)
+
+let candidates =
+  if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60
+
+let seed = 7
+
+let run_once ~workers =
+  let rng = Rng.create seed in
+  let model = Models.build (Models.resnet18 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  let ctx = Eval_ctx.create () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Unified_search.search ~candidates ~workers ~ctx ~rng:(Rng.split rng)
+      ~device:Device.i7 ~probe model
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt)
+
+let () =
+  let worker_counts = [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun workers ->
+        let r, dt = run_once ~workers in
+        let throughput = float_of_int r.Unified_search.r_evaluated /. dt in
+        Printf.printf "workers=%d  %d candidates in %.2fs  (%.2f cand/s)\n%!"
+          workers r.r_evaluated dt throughput;
+        (workers, r, dt, throughput))
+      worker_counts
+  in
+  let _, serial, _, serial_tp = List.hd runs in
+  let serial_sig =
+    Unified_search.plans_signature
+      serial.Unified_search.r_best.Unified_search.cd_plans
+  in
+  List.iter
+    (fun (workers, r, _, _) ->
+      let s =
+        Unified_search.plans_signature r.Unified_search.r_best.Unified_search.cd_plans
+      in
+      if s <> serial_sig then (
+        Printf.eprintf "DETERMINISM VIOLATION at workers=%d\n" workers;
+        exit 1))
+    runs;
+  Printf.printf "all worker counts agree on the winner\n%!";
+  let oc = open_out "BENCH_search.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"benchmark\": \"unified-search-throughput\",\n";
+  Printf.fprintf oc "  \"model\": \"resnet18\",\n";
+  Printf.fprintf oc "  \"candidates\": %d,\n" candidates;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"available_cores\": %d,\n"
+    (Parallel_eval.available_workers ());
+  Printf.fprintf oc "  \"deterministic_across_workers\": true,\n";
+  Printf.fprintf oc "  \"runs\": [\n";
+  let n = List.length runs in
+  List.iteri
+    (fun i (workers, r, dt, tp) ->
+      Printf.fprintf oc
+        "    {\"workers\": %d, \"seconds\": %.3f, \"candidates_per_sec\": %.3f, \
+         \"speedup_vs_serial\": %.3f, \"best_latency_ms\": %.4f, \"rejected\": %d, \
+         \"quarantined\": %d}%s\n"
+        workers dt tp (tp /. serial_tp)
+        (1000.0 *. r.Unified_search.r_best.Unified_search.cd_latency_s)
+        r.r_rejected
+        (List.length r.r_quarantined)
+        (if i = n - 1 then "" else ","))
+    runs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_search.json\n%!"

@@ -81,6 +81,20 @@ let budget_arg =
   in
   Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
 
+let workers_arg =
+  let doc =
+    "Evaluate candidates on N parallel worker domains (default 1).  Any \
+     worker count returns the identical best candidate, rejection count and \
+     quarantine list; 0 means the runtime's recommended domain count."
+  in
+  Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+
+let cache_cap_arg =
+  let doc =
+    "Capacity of the workload-cost memo cache (FIFO eviction; default 8192)."
+  in
+  Arg.(value & opt int 8192 & info [ "cache-cap" ] ~docv:"N" ~doc)
+
 let device_of_name name =
   match Device.by_name name with
   | Some d -> d
@@ -100,7 +114,7 @@ let table1_cmd =
 
 let search_cmd =
   let run network device candidates seed resilient fault_rate fault_seed checkpoint
-      checkpoint_every budget =
+      checkpoint_every budget workers cache_cap =
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
@@ -110,14 +124,22 @@ let search_cmd =
       else
         Fault.make ~seed:(Option.value fault_seed ~default:seed) ~rate:fault_rate ()
     in
+    if workers < 0 then die "--workers must be >= 0 (0 = recommended domain count)";
+    if cache_cap < 1 then die "--cache-cap must be >= 1";
+    let workers =
+      if workers = 0 then Parallel_eval.available_workers () else workers
+    in
+    let ctx = Eval_ctx.create ~cache_capacity:cache_cap ~device:dev () in
     Format.fprintf ppf "unified search: %s on %s, %d candidates@." model.Models.name
       dev.Device.dev_name candidates;
+    if workers > 1 then
+      Format.fprintf ppf "parallel evaluation: %d worker domains@." workers;
     if Fault.enabled fault then
       Format.fprintf ppf "fault injection: rate %.0f%% per oracle per candidate@."
         (100.0 *. fault_rate);
     let r =
       Unified_search.search ~candidates ~fault ?budget ?checkpoint ~checkpoint_every
-        ~rng:(Rng.split rng) ~device:dev ~probe model
+        ~workers ~ctx ~rng:(Rng.split rng) ~device:dev ~probe model
     in
     (match r.Unified_search.r_checkpoint_error with
     | Some e ->
@@ -149,10 +171,14 @@ let search_cmd =
         (Unified_search.quarantine_counts r)
     end;
     if resilient then begin
-      let cs = Pipeline.cache_stats () in
+      let cs = Eval_ctx.cost_stats ctx in
       Format.fprintf ppf
         "pipeline cache: %d hits, %d misses, %d/%d entries (%d evicted)@."
-        cs.Pipeline.cs_hits cs.cs_misses cs.cs_size cs.cs_capacity cs.cs_evictions
+        cs.Bounded_cache.cs_hits cs.cs_misses cs.cs_size cs.cs_capacity cs.cs_evictions;
+      let fs = Eval_ctx.fisher_stats ctx in
+      Format.fprintf ppf
+        "fisher cache:   %d hits, %d misses, %d/%d entries (%d evicted)@."
+        fs.Bounded_cache.cs_hits fs.cs_misses fs.cs_size fs.cs_capacity fs.cs_evictions
     end;
     Format.fprintf ppf "wall:      %a@." Timing.pp_seconds r.r_wall_s;
     Format.fprintf ppf "@.winning per-site plans (transformed sites only):@.";
@@ -166,7 +192,7 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
     Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg
           $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
-          $ checkpoint_every_arg $ budget_arg)
+          $ checkpoint_every_arg $ budget_arg $ workers_arg $ cache_cap_arg)
 
 let nas_cmd =
   let run network device candidates seed =

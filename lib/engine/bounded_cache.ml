@@ -1,0 +1,70 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;
+  mutable capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_size : int;
+  cs_capacity : int;
+  cs_evictions : int;
+}
+
+let create ?(capacity = 8192) () =
+  { table = Hashtbl.create 1024;
+    order = Queue.create ();
+    capacity = max 1 capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let evict_to t cap =
+  while Hashtbl.length t.table >= cap && not (Queue.is_empty t.order) do
+    Hashtbl.remove t.table (Queue.pop t.order);
+    t.evictions <- t.evictions + 1
+  done
+
+let remember t key f =
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      let v = f () in
+      evict_to t t.capacity;
+      Hashtbl.replace t.table key v;
+      Queue.push key t.order;
+      v
+
+let find_opt t key = Hashtbl.find_opt t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let set_capacity t n =
+  t.capacity <- max 1 n;
+  evict_to t (t.capacity + 1)
+
+let capacity t = t.capacity
+
+let stats t =
+  { cs_hits = t.hits;
+    cs_misses = t.misses;
+    cs_size = Hashtbl.length t.table;
+    cs_capacity = t.capacity;
+    cs_evictions = t.evictions }
+
+let absorb t (s : stats) =
+  t.hits <- t.hits + s.cs_hits;
+  t.misses <- t.misses + s.cs_misses;
+  t.evictions <- t.evictions + s.cs_evictions

@@ -1,0 +1,81 @@
+type t = {
+  ec_device : Device.t;
+  ec_cost_cache : float Bounded_cache.t;
+  ec_fisher_cache : Fisher.scores Bounded_cache.t;
+  ec_fault : Fault.t;
+  ec_budget : int option;
+  ec_checkpoint : string option;
+  ec_checkpoint_every : int;
+  mutable ec_tune_configs : int;
+}
+
+let create ?(cache_capacity = 8192) ?(fisher_capacity = 4096) ?(fault = Fault.none)
+    ?budget ?checkpoint ?(checkpoint_every = 25) ?(device = Device.i7) () =
+  { ec_device = device;
+    ec_cost_cache = Bounded_cache.create ~capacity:cache_capacity ();
+    ec_fisher_cache = Bounded_cache.create ~capacity:fisher_capacity ();
+    ec_fault = fault;
+    ec_budget = budget;
+    ec_checkpoint = checkpoint;
+    ec_checkpoint_every = checkpoint_every;
+    ec_tune_configs = 0 }
+
+(* The one piece of module-level mutable state left in the system: the
+   context behind the legacy (context-free) wrappers.  Workers never touch
+   it — parallel evaluation always runs on explicit forks. *)
+let default_ctx : t option ref = ref None
+
+let default () =
+  match !default_ctx with
+  | Some c -> c
+  | None ->
+      let c = create () in
+      default_ctx := Some c;
+      c
+
+let with_device t device = { t with ec_device = device }
+
+let with_knobs ?fault ?budget ?checkpoint ?checkpoint_every t =
+  { t with
+    ec_fault = (match fault with Some f -> f | None -> t.ec_fault);
+    ec_budget = (match budget with Some _ -> budget | None -> t.ec_budget);
+    ec_checkpoint =
+      (match checkpoint with Some _ -> checkpoint | None -> t.ec_checkpoint);
+    ec_checkpoint_every =
+      (match checkpoint_every with Some n -> n | None -> t.ec_checkpoint_every) }
+
+let fork t =
+  { ec_device = t.ec_device;
+    ec_cost_cache = Bounded_cache.create ~capacity:(Bounded_cache.capacity t.ec_cost_cache) ();
+    ec_fisher_cache =
+      Bounded_cache.create ~capacity:(Bounded_cache.capacity t.ec_fisher_cache) ();
+    ec_fault = Fault.copy t.ec_fault;
+    ec_budget = t.ec_budget;
+    ec_checkpoint = t.ec_checkpoint;
+    ec_checkpoint_every = t.ec_checkpoint_every;
+    ec_tune_configs = 0 }
+
+let absorb parent worker =
+  Bounded_cache.absorb parent.ec_cost_cache (Bounded_cache.stats worker.ec_cost_cache);
+  Bounded_cache.absorb parent.ec_fisher_cache
+    (Bounded_cache.stats worker.ec_fisher_cache);
+  parent.ec_tune_configs <- parent.ec_tune_configs + worker.ec_tune_configs;
+  Fault.add_injected parent.ec_fault (Fault.injected worker.ec_fault)
+
+let reset t =
+  Bounded_cache.clear t.ec_cost_cache;
+  Bounded_cache.clear t.ec_fisher_cache;
+  t.ec_tune_configs <- 0
+
+let device t = t.ec_device
+let fault t = t.ec_fault
+let budget t = t.ec_budget
+let checkpoint t = t.ec_checkpoint
+let checkpoint_every t = t.ec_checkpoint_every
+let cost_cache t = t.ec_cost_cache
+let fisher_cache t = t.ec_fisher_cache
+let cost_stats t = Bounded_cache.stats t.ec_cost_cache
+let fisher_stats t = Bounded_cache.stats t.ec_fisher_cache
+
+let note_tune t n = t.ec_tune_configs <- t.ec_tune_configs + n
+let tune_configs t = t.ec_tune_configs

@@ -1,0 +1,92 @@
+(** The explicit evaluation context.
+
+    Everything candidate evaluation used to keep in module-level mutable
+    state lives here instead: the bounded workload-cost memo (formerly a
+    global in [Pipeline]), the Fisher-score memo (formerly the per-search
+    [fo_cache] in [Unified_search]), the target device, autotuner
+    accounting, and the supervisor/fault/checkpoint knobs.  Because a
+    context owns all of that, evaluation is reentrant: two contexts never
+    observe each other's cache hits, and a worker pool can evaluate
+    candidate chunks against per-domain forks of one parent context.
+
+    Legacy entry points (e.g. [Pipeline.evaluate dev model ~plans] without
+    a [?ctx]) route through the process-wide {!default} context, so
+    existing callers keep their exact behavior. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?fisher_capacity:int ->
+  ?fault:Fault.t ->
+  ?budget:int ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?device:Device.t ->
+  unit ->
+  t
+(** A fresh context.  [cache_capacity] bounds the workload-cost memo
+    (default 8192) and [fisher_capacity] the Fisher-score memo (default
+    4096); both evict FIFO.  [fault] (default {!Fault.none}), [budget],
+    [checkpoint] and [checkpoint_every] (default 25) are the evaluation
+    knobs a search resolves when no explicit argument overrides them.
+    [device] (default {!Device.i7}) is the target the context evaluates
+    against. *)
+
+val default : unit -> t
+(** The process-wide default context backing the legacy wrappers.  Created
+    lazily on first use; shared by every caller that does not pass its own
+    context. *)
+
+val with_device : t -> Device.t -> t
+(** The same context (sharing caches, counters and knobs) retargeted at
+    another device.  Safe because every memo key embeds the device name. *)
+
+val with_knobs :
+  ?fault:Fault.t ->
+  ?budget:int ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  t ->
+  t
+(** Override the evaluation knobs that are given, keep the rest (caches
+    stay shared with the original). *)
+
+val fork : t -> t
+(** A per-domain worker context: same device, capacities and knobs, fresh
+    empty caches and counters, and an independent copy of the fault plan
+    (fault draws are pure in (seed, key, target), so a fork trips exactly
+    the faults the parent would).  Use {!absorb} after joining to fold the
+    worker's telemetry back into the parent. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent worker] adds the worker's cache hit/miss/eviction
+    counters, autotuner accounting and injected-fault count into the
+    parent's. *)
+
+val reset : t -> unit
+(** Clear both memo caches and the autotuner counter. *)
+
+(* --- accessors --------------------------------------------------------- *)
+
+val device : t -> Device.t
+val fault : t -> Fault.t
+val budget : t -> int option
+val checkpoint : t -> string option
+val checkpoint_every : t -> int
+
+val cost_cache : t -> float Bounded_cache.t
+(** The workload-cost memo: key = device|workload-dims|schedule-hints. *)
+
+val fisher_cache : t -> Fisher.scores Bounded_cache.t
+(** The Fisher-score memo: key = rebuild-seed|plan-signature. *)
+
+val cost_stats : t -> Bounded_cache.stats
+val fisher_stats : t -> Bounded_cache.stats
+
+val note_tune : t -> int -> unit
+(** Record that an autotuner sweep tried this many configurations (called
+    by the pipeline on every workload-cost miss, for §7.2 accounting). *)
+
+val tune_configs : t -> int
+(** Autotuner configurations swept through this context so far. *)

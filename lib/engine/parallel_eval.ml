@@ -1,0 +1,26 @@
+let available_workers () = Domain.recommended_domain_count ()
+
+let max_workers = 64
+
+let map_range ~workers ~ctx ~first ~limit f =
+  let total = max 0 (limit - first) in
+  if total = 0 then [||]
+  else
+    let workers = max 1 (min (min workers total) max_workers) in
+    if workers = 1 then Array.init total (fun i -> f ctx (first + i))
+    else begin
+      let chunk = (total + workers - 1) / workers in
+      let worker_ctxs = Array.init workers (fun _ -> Eval_ctx.fork ctx) in
+      let run d =
+        let lo = first + (d * chunk) in
+        let hi = min limit (lo + chunk) in
+        Array.init (max 0 (hi - lo)) (fun i -> f worker_ctxs.(d) (lo + i))
+      in
+      let domains =
+        Array.init (workers - 1) (fun d -> Domain.spawn (fun () -> run (d + 1)))
+      in
+      let head = run 0 in
+      let tails = Array.map Domain.join domains in
+      Array.iter (fun w -> Eval_ctx.absorb ctx w) worker_ctxs;
+      Array.concat (head :: Array.to_list tails)
+    end

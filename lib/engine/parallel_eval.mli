@@ -1,0 +1,32 @@
+(** Domain-parallel candidate evaluation.
+
+    A fixed pool of OCaml 5 domains maps an evaluation function over a
+    contiguous index range.  Each worker runs against its own {!Eval_ctx}
+    fork (fresh caches, an independent copy of the fault plan), so no
+    evaluation state is shared between domains; the per-index results come
+    back in index order, which makes the merge deterministic — the same
+    best candidate, rejection count and quarantine set regardless of the
+    worker count, because every per-index value is a pure function of the
+    index and the merge replays them in order.
+
+    The evaluation function must confine failures to its result type
+    (e.g. an outcome variant) — an exception escaping a worker is
+    re-raised at the join. *)
+
+val available_workers : unit -> int
+(** The runtime's recommended domain count for this machine. *)
+
+val map_range :
+  workers:int ->
+  ctx:Eval_ctx.t ->
+  first:int ->
+  limit:int ->
+  (Eval_ctx.t -> int -> 'a) ->
+  'a array
+(** [map_range ~workers ~ctx ~first ~limit f] evaluates
+    [f worker_ctx i] for every [i] in [first, limit) and returns the
+    results in index order.  The range is split into [workers] contiguous
+    chunks (clamped to the range size and at most 64); chunk 0 runs on the
+    calling domain.  With [workers <= 1] this degenerates to a sequential
+    map over [ctx] itself with no fork.  After the join, every worker's
+    cache/fault telemetry is absorbed into [ctx]. *)

@@ -12,7 +12,7 @@ type evaluated = {
   ev_fixed_cost_s : float;
 }
 
-type cache_stats = {
+type cache_stats = Bounded_cache.stats = {
   cs_hits : int;
   cs_misses : int;
   cs_size : int;
@@ -20,43 +20,18 @@ type cache_stats = {
   cs_evictions : int;
 }
 
-(* The memo cache is bounded (FIFO eviction) so a long search over many
-   devices/networks cannot grow it without limit. *)
-let cache : (string, float) Hashtbl.t = Hashtbl.create 1024
-let cache_order : string Queue.t = Queue.create ()
-let cache_capacity = ref 8192
-let cache_hits = ref 0
-let cache_misses = ref 0
-let cache_evictions = ref 0
+(* All memoization lives in the evaluation context; the wrappers below
+   default to the process-wide context so legacy callers keep their exact
+   behavior, and explicit-context callers (e.g. per-domain workers) get
+   fully isolated caches. *)
+let ctx_or_default = function Some c -> c | None -> Eval_ctx.default ()
 
-let clear_cache () =
-  Hashtbl.reset cache;
-  Queue.clear cache_order;
-  cache_hits := 0;
-  cache_misses := 0;
-  cache_evictions := 0
-
-let cache_evict_to cap =
-  while Hashtbl.length cache >= cap && not (Queue.is_empty cache_order) do
-    Hashtbl.remove cache (Queue.pop cache_order);
-    incr cache_evictions
-  done
+let clear_cache () = Bounded_cache.clear (Eval_ctx.cost_cache (Eval_ctx.default ()))
 
 let set_cache_capacity n =
-  cache_capacity := max 1 n;
-  cache_evict_to (!cache_capacity + 1)
+  Bounded_cache.set_capacity (Eval_ctx.cost_cache (Eval_ctx.default ())) n
 
-let cache_stats () =
-  { cs_hits = !cache_hits;
-    cs_misses = !cache_misses;
-    cs_size = Hashtbl.length cache;
-    cs_capacity = !cache_capacity;
-    cs_evictions = !cache_evictions }
-
-let cache_insert key cost =
-  cache_evict_to !cache_capacity;
-  Hashtbl.replace cache key cost;
-  Queue.push key cache_order
+let cache_stats () = Bounded_cache.stats (Eval_ctx.cost_cache (Eval_ctx.default ()))
 
 let hints_key (h : Autotune.hints) =
   Printf.sprintf "u%s.s%s"
@@ -68,14 +43,10 @@ let workload_key dev (w : Conv_impl.workload) hints =
     w.Conv_impl.w_in_channels w.w_out_channels w.w_kernel w.w_stride w.w_groups
     w.w_spatial (hints_key hints)
 
-let workload_cost ?(hints = Autotune.no_hints) dev w =
+let workload_cost ?ctx ?(hints = Autotune.no_hints) dev w =
+  let ctx = ctx_or_default ctx in
   let key = workload_key dev w hints in
-  match Hashtbl.find_opt cache key with
-  | Some c ->
-      incr cache_hits;
-      c
-  | None ->
-      incr cache_misses;
+  Bounded_cache.remember (Eval_ctx.cost_cache ctx) key (fun () ->
       let out_sp = Conv_impl.workload_out_spatial w in
       let nest =
         Loop_nest.conv_nest_of_dims ~co:w.Conv_impl.w_out_channels
@@ -83,24 +54,25 @@ let workload_cost ?(hints = Autotune.no_hints) dev w =
           ~groups:w.w_groups
       in
       let _, breakdown = Autotune.tune ~hints dev nest in
+      Eval_ctx.note_tune ctx (Autotune.configurations_tried dev nest);
       if not (Cost_model.is_finite breakdown) then
         Nas_error.fail (Nas_error.Non_finite Nas_error.Cost_model);
       let elems = w.w_out_channels * out_sp * out_sp in
       let cost = breakdown.Cost_model.total_s +. Cost_model.elementwise_time dev ~elems in
-      let cost = Guard.check_float ~source:Nas_error.Cost_model cost in
-      cache_insert key cost;
-      cost
+      Guard.check_float ~source:Nas_error.Cost_model cost)
 
-let site_cost dev site (plan : Site_plan.t) =
+let site_cost ?ctx dev site (plan : Site_plan.t) =
+  let ctx = ctx_or_default ctx in
   if not (Site_plan.valid site plan) then
     Nas_error.invalid_plan "site_cost: plan %s invalid for %s" plan.Site_plan.sp_name
       site.Conv_impl.site_label;
   List.fold_left
-    (fun acc w -> acc +. workload_cost ~hints:plan.Site_plan.sp_hints dev w)
+    (fun acc w -> acc +. workload_cost ~ctx ~hints:plan.Site_plan.sp_hints dev w)
     0.0
     (Conv_impl.workloads site plan.Site_plan.sp_impl)
 
-let evaluate dev model ~plans =
+let evaluate ?ctx dev model ~plans =
+  let ctx = ctx_or_default ctx in
   let sites = model.Models.sites in
   if Array.length plans <> Array.length sites then
     Nas_error.shape_mismatch "evaluate: %d plans for %d sites (one plan per site)"
@@ -112,12 +84,14 @@ let evaluate dev model ~plans =
     List.filteri (fun i _ -> i < n_fixed) (Models.cost_workloads model)
   in
   let fixed_cost =
-    List.fold_left (fun acc w -> acc +. workload_cost dev w) 0.0 fixed_scaled
+    List.fold_left (fun acc w -> acc +. workload_cost ~ctx dev w) 0.0 fixed_scaled
   in
   let site_evals =
     Array.mapi
       (fun i site ->
-        { se_site = site; se_plan = plans.(i); se_cost_s = site_cost dev site plans.(i) })
+        { se_site = site;
+          se_plan = plans.(i);
+          se_cost_s = site_cost ~ctx dev site plans.(i) })
       scaled
   in
   let latency =
@@ -150,7 +124,8 @@ let evaluate dev model ~plans =
     ev_sites = site_evals;
     ev_fixed_cost_s = fixed_cost }
 
-let baseline dev model =
-  evaluate dev model ~plans:(Array.map (fun _ -> Site_plan.baseline) model.Models.sites)
+let baseline ?ctx dev model =
+  evaluate ?ctx dev model
+    ~plans:(Array.map (fun _ -> Site_plan.baseline) model.Models.sites)
 
 let of_impls model = Array.map (fun impl -> Site_plan.make impl) model.Models.impls

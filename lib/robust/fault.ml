@@ -13,6 +13,14 @@ let none = { f_seed = None; f_rate = 0.0; f_targets = []; f_injected = 0 }
 let make ?(targets = all_targets) ~seed ~rate () =
   { f_seed = Some seed; f_rate = rate; f_targets = targets; f_injected = 0 }
 
+(* Same plan, fresh trip counter: the deterministic draws are pure in
+   (seed, key, target), so a copy handed to a worker domain trips exactly
+   the faults the original would, without racing on the counter. *)
+let copy t =
+  { f_seed = t.f_seed; f_rate = t.f_rate; f_targets = t.f_targets; f_injected = 0 }
+
+let add_injected t n = t.f_injected <- t.f_injected + n
+
 let enabled t = t.f_seed <> None && t.f_rate > 0.0
 
 let target_index = function Fisher_oracle -> 0 | Cost_oracle -> 1 | Plan_gen -> 2

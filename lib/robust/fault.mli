@@ -38,4 +38,13 @@ val corrupt_float : t -> key:int -> target -> float -> float
 val injected : t -> int
 (** Trips recorded so far (across all targets). *)
 
+val copy : t -> t
+(** The same plan with a fresh trip counter.  Draws are pure in
+    (seed, key, target), so a copy trips exactly the faults the original
+    would — hand one to each worker domain and {!add_injected} the counts
+    back after the join. *)
+
+val add_injected : t -> int -> unit
+(** Fold a worker copy's trip count into this plan's counter. *)
+
 val target_name : target -> string

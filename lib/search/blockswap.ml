@@ -40,7 +40,16 @@ let site_params model impls =
              impls.(site.Conv_impl.site_index))
        0
 
-let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ~rng ~probe model =
+(* Fisher scores are memoized in the evaluation context keyed on
+   (rebuild seed, impl assignment): random sampling revisits configurations,
+   and a memo hit skips both the rebuild and the probe pass. *)
+let impls_signature seed impls =
+  Printf.sprintf "bs|%d|%s" seed
+    (String.concat ";" (Array.to_list (Array.map Conv_impl.to_string impls)))
+
+let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ?ctx ~rng ~probe
+    model =
+  let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
   let baseline_impls = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
   (* The budget constrains the transformable convolutions; the fixed
      backbone (stems, shortcuts, transitions) is not substitutable. *)
@@ -50,8 +59,11 @@ let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ~rng ~probe m
   (* Shared rebuild seed: candidates share the weights of common layers, so
      Fisher comparisons measure structure (same device as Unified_search). *)
   let seed = Rng.int rng 1_000_000_000 in
-  let reference = Models.rebuild model (Rng.create seed) baseline_impls in
-  let baseline_scores = Fisher.score reference probe in
+  let score_of impls =
+    Bounded_cache.remember (Eval_ctx.fisher_cache ctx) (impls_signature seed impls)
+      (fun () -> Fisher.score (Models.rebuild model (Rng.create seed) impls) probe)
+  in
+  let baseline_scores = score_of baseline_impls in
   let best = ref None in
   let sampled = ref 0 in
   for _ = 1 to samples do
@@ -65,23 +77,28 @@ let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ~rng ~probe m
     in
     if site_params model impls <= budget then begin
       incr sampled;
-      let candidate = Models.rebuild model (Rng.create seed) impls in
-      let scores = Fisher.score candidate probe in
+      let scores = score_of impls in
       if Fisher.legal_clipped ~slack ~baseline:baseline_scores scores then begin
         let fisher = Fisher.clipped_total ~baseline:baseline_scores scores in
         match !best with
-        | Some (_, _, f) when f >= fisher -> ()
-        | _ -> best := Some (impls, candidate, fisher)
+        | Some (_, f) when f >= fisher -> ()
+        | _ -> best := Some (impls, fisher)
       end
     end
   done;
-  let impls, bs_model, bs_fisher =
+  let impls, bs_fisher =
     match !best with
     | Some r -> r
     | None ->
         (* Budget unreachable within the legality constraint: keep the
            original network (the paper's ResNeXt case). *)
-        (baseline_impls, model, baseline_scores.Fisher.total)
+        (baseline_impls, baseline_scores.Fisher.total)
+  in
+  (* The winner's model is rebuilt once at the end (deterministic in the
+     shared seed), so memo hits during the sweep never pay a rebuild. *)
+  let bs_model =
+    if impls == baseline_impls then model
+    else Models.rebuild model (Rng.create seed) impls
   in
   { bs_impls = impls;
     bs_model;

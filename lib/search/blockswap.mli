@@ -22,6 +22,7 @@ val search :
   ?samples:int ->
   ?budget_ratio:float ->
   ?slack:float ->
+  ?ctx:Eval_ctx.t ->
   rng:Rng.t ->
   probe:Train.batch ->
   Models.t ->
@@ -29,4 +30,7 @@ val search :
 (** [search ~rng ~probe model] samples configurations whose transformable
     parameter count is at most [budget_ratio] (default 0.45) of the
     original's and returns the Fisher-legal one with the highest clipped
-    Fisher Potential (the same legality standard as the unified search). *)
+    Fisher Potential (the same legality standard as the unified search).
+    Fisher scores are memoized in [ctx] (default: the process default
+    context), so resampled configurations pay neither a rebuild nor a
+    probe pass. *)

@@ -20,16 +20,17 @@ let softmax_sample rng logits =
     exps;
   !choice
 
-let latency_of device model impls =
+let latency_of ?ctx device model impls =
   let plans = Array.map (fun impl -> Site_plan.make impl) impls in
-  (Pipeline.evaluate device model ~plans).Pipeline.ev_latency_s
+  (Pipeline.evaluate ?ctx device model ~plans).Pipeline.ev_latency_s
 
 let search ?(rounds = 4) ?(population = 6) ?(train_steps = 40)
-    ?(latency_weight = 0.35) ~rng ~device ~data model =
+    ?(latency_weight = 0.35) ?ctx ~rng ~device ~data model =
+  let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
   let menus = Array.map Blockswap.menu model.Models.sites in
   let menus = Array.map Array.of_list menus in
   let logits = Array.map (fun m -> Array.make (max 1 (Array.length m)) 0.0) menus in
-  let baseline_latency = latency_of device model (Array.map (fun _ -> Conv_impl.Full) model.Models.sites) in
+  let baseline_latency = latency_of ~ctx device model (Array.map (fun _ -> Conv_impl.Full) model.Models.sites) in
   let trainings = ref 0 in
   let eval_config impls =
     (* Short proxy training: the expensive step FBNet pays at every
@@ -47,7 +48,7 @@ let search ?(rounds = 4) ?(population = 6) ?(train_steps = 40)
       List.filteri (fun i _ -> i < 4) (Synthetic_data.batches data ~batch_size:16)
     in
     let acc = Train.evaluate candidate val_batches in
-    let lat = latency_of device model impls in
+    let lat = latency_of ~ctx device model impls in
     let reward = acc -. (latency_weight *. (lat /. baseline_latency)) in
     (reward, acc, lat, candidate)
   in

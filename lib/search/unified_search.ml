@@ -33,34 +33,33 @@ let random_plans rng model ~mutate_prob =
 let plans_signature plans =
   String.concat ";" (Array.to_list (Array.map (fun p -> p.Site_plan.sp_name) plans))
 
+(* Quarantine output is sorted by plan signature so failure attribution is
+   deterministic and diffable across runs and worker counts. *)
+let sort_quarantine q = List.sort (fun (a, _) (b, _) -> compare a b) q
+
 (* One shared rebuild seed per search: candidates share the weights of every
    layer they have in common with the reference network (label-addressed
    initialization), so Fisher differences measure structure, not seed
-   noise. *)
+   noise.  The score memo lives in the evaluation context (bounded, FIFO);
+   the key embeds the rebuild seed so searches sharing a context never
+   collide. *)
 type fisher_oracle = {
   fo_reference : Fisher.scores;
   fo_seed : int;
-  fo_cache : (string, Fisher.scores) Hashtbl.t;
 }
 
 let make_oracle rng model probe =
   let fo_seed = Rng.int rng 1_000_000_000 in
   let full = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
   let reference = Models.rebuild model (Rng.create fo_seed) full in
-  { fo_reference = Fisher.score reference probe;
-    fo_seed;
-    fo_cache = Hashtbl.create 256 }
+  { fo_reference = Fisher.score reference probe; fo_seed }
 
-let oracle_scores oracle model probe plans =
-  let signature = plans_signature plans in
-  match Hashtbl.find_opt oracle.fo_cache signature with
-  | Some s -> s
-  | None ->
+let oracle_scores ctx oracle model probe plans =
+  let key = Printf.sprintf "%d|%s" oracle.fo_seed (plans_signature plans) in
+  Bounded_cache.remember (Eval_ctx.fisher_cache ctx) key (fun () ->
       let impls = Array.map (fun p -> p.Site_plan.sp_impl) plans in
       let candidate = Models.rebuild model (Rng.create oracle.fo_seed) impls in
-      let s = Fisher.score candidate probe in
-      Hashtbl.replace oracle.fo_cache signature s;
-      s
+      Fisher.score candidate probe)
 
 (* Aggressiveness varies per candidate, so the pool spans mild touch-ups to
    whole-network rewrites. *)
@@ -107,8 +106,8 @@ let generate_pool rng model ~candidates ~mutate_prob =
 (* Evaluate one candidate under guards and (optional) injected faults.
    [Some cand] = survivor, [None] = Fisher-rejected (a healthy outcome);
    every failure mode raises a structured {!Nas_error.Fail} for the
-   supervisor to quarantine. *)
-let eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans =
+   caller to quarantine. *)
+let eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans =
   if Fault.trip fault ~key:index Fault.Plan_gen then
     Nas_error.fail (Nas_error.Injected_fault "plan generation");
   Array.iteri
@@ -117,7 +116,7 @@ let eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans =
         Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
           p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
     plans;
-  let scores = oracle_scores oracle model probe plans in
+  let scores = oracle_scores ctx oracle model probe plans in
   let total =
     Fault.corrupt_float fault ~key:index Fault.Fisher_oracle scores.Fisher.total
   in
@@ -125,7 +124,7 @@ let eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans =
   ignore (Guard.check_array ~source:Nas_error.Fisher_score scores.Fisher.per_site);
   if not (Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores) then None
   else begin
-    let ev = Pipeline.evaluate device model ~plans in
+    let ev = Pipeline.evaluate ~ctx device model ~plans in
     let latency =
       Fault.corrupt_float fault ~key:index Fault.Cost_oracle ev.Pipeline.ev_latency_s
     in
@@ -137,6 +136,24 @@ let eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans =
         cd_macs = ev.ev_macs;
         cd_params = ev.ev_params }
   end
+
+(* The three ways one candidate evaluation can end.  Outcomes are pure
+   per-index values, so replaying them in index order merges to the same
+   incumbent / rejection count / quarantine set no matter how many worker
+   domains produced them. *)
+type outcome =
+  | O_survivor of candidate
+  | O_rejected
+  | O_failed of string * Nas_error.t
+
+let eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model index plans =
+  match
+    Nas_error.guard (fun () ->
+        eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans)
+  with
+  | Ok (Some cand) -> O_survivor cand
+  | Ok None -> O_rejected
+  | Error e -> O_failed (plans_signature plans, e)
 
 (* --- checkpoint/resume -------------------------------------------------- *)
 
@@ -161,11 +178,22 @@ let load_checkpoint path key =
   | Ok st when st.ck_key = key -> Some st
   | Ok _ | Error _ -> None
 
-let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
-    ?(fault = Fault.none) ?budget ?checkpoint ?(checkpoint_every = 25) ~rng ~device
-    ~probe model =
+let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?budget
+    ?checkpoint ?checkpoint_every ?(workers = 1) ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
-  let baseline = Pipeline.baseline device model in
+  (* Resolve the context: explicit knob arguments override the context's,
+     which override the defaults. *)
+  let ctx =
+    Eval_ctx.with_knobs ?fault ?budget ?checkpoint ?checkpoint_every
+      (Eval_ctx.with_device
+         (match ctx with Some c -> c | None -> Eval_ctx.default ())
+         device)
+  in
+  let fault = Eval_ctx.fault ctx in
+  let budget = Eval_ctx.budget ctx in
+  let checkpoint = Eval_ctx.checkpoint ctx in
+  let checkpoint_every = Eval_ctx.checkpoint_every ctx in
+  let baseline = Pipeline.baseline ~ctx device model in
   let oracle = make_oracle rng model probe in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
   let pool = generate_pool rng model ~candidates ~mutate_prob in
@@ -174,17 +202,14 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
   let resumed =
     match checkpoint with Some path -> load_checkpoint path key | None -> None
   in
-  let supervisor = Supervisor.create ?budget () in
-  let rejected = ref 0 in
-  let best = ref None in
-  let first = ref 0 in
-  (match resumed with
-  | Some st ->
-      first := min st.ck_done n;
-      rejected := st.ck_rejected;
-      best := st.ck_best;
-      Supervisor.restore supervisor ~evaluated:st.ck_done ~quarantine:st.ck_quarantine
-  | None -> ());
+  let first, rejected0, best0, quarantine0 =
+    match resumed with
+    | Some st -> (min st.ck_done n, st.ck_rejected, st.ck_best, st.ck_quarantine)
+    | None -> (0, 0, None, [])
+  in
+  let rejected = ref rejected0 in
+  let best = ref best0 in
+  let quarantine_rev = ref quarantine0 in
   let checkpoint_error = ref None in
   let save_checkpoint done_ =
     match checkpoint with
@@ -196,41 +221,45 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
               ck_done = done_;
               ck_rejected = !rejected;
               ck_best = !best;
-              ck_quarantine = Supervisor.raw_quarantine supervisor }
+              ck_quarantine = !quarantine_rev }
         with
         | Ok () -> ()
         | Error e -> if !checkpoint_error = None then checkpoint_error := Some e)
   in
-  let i = ref !first in
-  let stopped = ref false in
-  while (not !stopped) && !i < n do
-    if Supervisor.budget_exhausted supervisor then begin
-      (* Graceful out-of-budget stop: persist progress and return the
-         incumbent rather than discarding the explored prefix. *)
-      ignore
-        (Supervisor.run supervisor ~label:(plans_signature pool.(!i)) (fun () -> ()));
-      save_checkpoint !i;
-      stopped := true
-    end
-    else begin
-      let plans = pool.(!i) in
-      let index = !i in
-      (match
-         Supervisor.run supervisor ~label:(plans_signature plans) (fun () ->
-             eval_candidate ~fault ~index ~slack ~oracle ~device ~probe model plans)
-       with
-      | Ok (Some cand) -> (
-          match !best with
-          | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
-          | _ -> best := Some cand)
-      | Ok None -> incr rejected
-      | Error _ -> ());
+  (* The budget caps cumulative evaluations (resumed progress included), so
+     the range of indices to process this run is known up front — which is
+     what lets a worker pool split it deterministically. *)
+  let limit = match budget with Some b -> min n (max first b) | None -> n in
+  let stopped = limit < n in
+  let merge_outcome = function
+    | O_survivor cand -> (
+        match !best with
+        | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+        | _ -> best := Some cand)
+    | O_rejected -> incr rejected
+    | O_failed (label, e) -> quarantine_rev := (label, e) :: !quarantine_rev
+  in
+  if workers <= 1 then begin
+    (* Sequential path: shared caches across the whole pool, periodic
+       checkpoints. *)
+    let i = ref first in
+    while !i < limit do
+      merge_outcome
+        (eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model !i pool.(!i));
       incr i;
       if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
         save_checkpoint !i
-    end
-  done;
-  if not !stopped then save_checkpoint n;
+    done
+  end
+  else
+    (* Parallel path: per-domain context forks evaluate contiguous chunks;
+       outcomes come back in index order, so the sequential merge below
+       reproduces the workers=1 result exactly. *)
+    Array.iter merge_outcome
+      (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
+           eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack ~oracle ~device
+             ~probe model i pool.(i)));
+  save_checkpoint (if stopped then limit else n);
   let best_cand =
     match !best with
     | Some b -> b
@@ -241,9 +270,9 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
     r_baseline_fisher = baseline_fisher;
     r_explored = n;
     r_rejected = !rejected;
-    r_quarantined = Supervisor.quarantined supervisor;
-    r_evaluated = !i - !first;
-    r_complete = not !stopped;
+    r_quarantined = sort_quarantine !quarantine_rev;
+    r_evaluated = limit - first;
+    r_complete = not stopped;
     r_checkpoint_error = !checkpoint_error;
     r_wall_s = Unix.gettimeofday () -. start }
 
@@ -251,8 +280,9 @@ let speedup r = r.r_baseline.Pipeline.ev_latency_s /. r.r_best.cd_latency_s
 
 let quarantine_counts r = Nas_error.count_classes r.r_quarantined
 
-let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
+let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?ctx ~rng
     ~devices ~probe model =
+  let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
   let start = Unix.gettimeofday () in
   let oracle = make_oracle rng model probe in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
@@ -266,7 +296,7 @@ let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
     (fun plans ->
       match
         Supervisor.run supervisor ~label:(plans_signature plans) (fun () ->
-            let scores = oracle_scores oracle model probe plans in
+            let scores = oracle_scores ctx oracle model probe plans in
             let total =
               Guard.check_float ~source:Nas_error.Fisher_score scores.Fisher.total
             in
@@ -288,14 +318,14 @@ let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
   List.map
     (fun device ->
       let dev_start = Unix.gettimeofday () in
-      let baseline = Pipeline.baseline device model in
+      let baseline = Pipeline.baseline ~ctx device model in
       let dev_supervisor = Supervisor.create () in
       let best = ref None in
       List.iter
         (fun (plans, fisher) ->
           match
             Supervisor.run dev_supervisor ~label:(plans_signature plans) (fun () ->
-                let ev = Pipeline.evaluate device model ~plans in
+                let ev = Pipeline.evaluate ~ctx device model ~plans in
                 let latency =
                   Guard.check_float ~source:Nas_error.Cost_model
                     ev.Pipeline.ev_latency_s
@@ -323,7 +353,8 @@ let search_multi ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ~rng
           r_baseline_fisher = baseline_fisher;
           r_explored = Array.length pool;
           r_rejected = !rejected;
-          r_quarantined = quarantined @ Supervisor.quarantined dev_supervisor;
+          r_quarantined =
+            sort_quarantine (quarantined @ Supervisor.quarantined dev_supervisor);
           r_evaluated = Array.length pool;
           r_complete = true;
           r_checkpoint_error = None;

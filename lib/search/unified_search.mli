@@ -25,7 +25,9 @@ type result = {
   r_explored : int;  (** configurations generated *)
   r_rejected : int;  (** configurations rejected by the Fisher check *)
   r_quarantined : (string * Nas_error.t) list;
-      (** failed candidates: (plan signature, structured error) *)
+      (** failed candidates: (plan signature, structured error), sorted by
+          signature so the attribution output is deterministic and
+          diffable across runs and worker counts *)
   r_evaluated : int;  (** configurations processed in this run *)
   r_complete : bool;  (** false iff the run stopped on its work budget *)
   r_checkpoint_error : Nas_error.t option;
@@ -52,6 +54,8 @@ val search :
   ?budget:int ->
   ?checkpoint:string ->
   ?checkpoint_every:int ->
+  ?workers:int ->
+  ?ctx:Eval_ctx.t ->
   rng:Rng.t ->
   device:Device.t ->
   probe:Train.batch ->
@@ -61,19 +65,30 @@ val search :
     fixed minibatch used for every Fisher evaluation; [slack] is the Fisher
     legality slack.
 
-    [fault] (default {!Fault.none}) injects deterministic faults into the
-    Fisher oracle / cost model / plan generation; the supervisor quarantines
-    the corrupted candidates and the search still completes.
+    [ctx] (default: the process default context) owns the memo caches and
+    the default evaluation knobs; an explicit [fault] / [budget] /
+    [checkpoint] / [checkpoint_every] argument overrides the context's.
 
-    [budget] caps candidate evaluations for this run; on exhaustion the
+    [workers] (default 1) evaluates the candidate pool on that many OCaml 5
+    domains, each against its own context fork.  Outcomes are merged in
+    candidate-index order, so any worker count returns the identical best
+    candidate, rejection count and (sorted) quarantine list; per-worker
+    cache and fault telemetry is folded back into [ctx].
+
+    [fault] (default {!Fault.none}) injects deterministic faults into the
+    Fisher oracle / cost model / plan generation; the corrupted candidates
+    are quarantined and the search still completes.
+
+    [budget] caps cumulative candidate evaluations; on exhaustion the
     search saves a checkpoint (if [checkpoint] is set), returns its
     incumbent and reports [r_complete = false].
 
     [checkpoint] names a snapshot file: progress is saved every
-    [checkpoint_every] candidates (default 25) and on completion, and an
-    existing compatible snapshot is resumed instead of restarting.  The
-    candidate pool is regenerated deterministically from [rng], so a
-    resumed search reproduces the uninterrupted run's best candidate. *)
+    [checkpoint_every] candidates (default 25; parallel runs snapshot on
+    completion) and an existing compatible snapshot is resumed instead of
+    restarting.  The candidate pool is regenerated deterministically from
+    [rng], so a resumed search reproduces the uninterrupted run's best
+    candidate. *)
 
 val speedup : result -> float
 (** Baseline latency over best-candidate latency. *)
@@ -85,6 +100,7 @@ val search_multi :
   ?candidates:int ->
   ?mutate_prob:float ->
   ?slack:float ->
+  ?ctx:Eval_ctx.t ->
   rng:Rng.t ->
   devices:Device.t list ->
   probe:Train.batch ->

@@ -1,0 +1,235 @@
+(* Evaluation-engine tests: the bounded memo cache, explicit evaluation
+   contexts (isolation, legacy-wrapper equivalence, forks), and the
+   domain-parallel evaluator (index-ordered results, workers=1 vs
+   workers=N determinism on a seeded search, with and without injected
+   faults and budgets). *)
+
+let test_workload co =
+  { Conv_impl.w_in_channels = 4; w_out_channels = co; w_kernel = 3; w_stride = 1;
+    w_groups = 1; w_spatial = 8; w_label = Printf.sprintf "eng-co%d" co }
+
+let setup () =
+  let rng = Rng.create 77 in
+  let model = Models.build (Models.resnet18 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  (rng, model, probe)
+
+(* --- bounded cache ------------------------------------------------------ *)
+
+let t_cache_fifo () =
+  let c = Bounded_cache.create ~capacity:3 () in
+  List.iter
+    (fun k -> ignore (Bounded_cache.remember c k (fun () -> k)))
+    [ "a"; "b"; "c"; "d"; "e" ];
+  let s = Bounded_cache.stats c in
+  Alcotest.(check bool) "size capped" true (s.Bounded_cache.cs_size <= 3);
+  Alcotest.(check int) "five misses" 5 s.cs_misses;
+  Alcotest.(check bool) "evictions happened" true (s.cs_evictions > 0);
+  (* FIFO: the oldest keys are gone, the newest survive. *)
+  Alcotest.(check (option string)) "oldest evicted" None (Bounded_cache.find_opt c "a");
+  Alcotest.(check (option string)) "newest kept" (Some "e") (Bounded_cache.find_opt c "e")
+
+let t_cache_stats_and_errors () =
+  let c = Bounded_cache.create ~capacity:8 () in
+  ignore (Bounded_cache.remember c "k" (fun () -> 1));
+  ignore (Bounded_cache.remember c "k" (fun () -> 2));
+  let s = Bounded_cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Bounded_cache.cs_misses;
+  Alcotest.(check int) "one hit" 1 s.cs_hits;
+  Alcotest.(check int) "hit returns cached value" 1
+    (Bounded_cache.remember c "k" (fun () -> 3));
+  (* A raising thunk counts as a miss and caches nothing. *)
+  (try ignore (Bounded_cache.remember c "bad" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check (option int)) "failure not cached" None (Bounded_cache.find_opt c "bad");
+  Bounded_cache.clear c;
+  let s = Bounded_cache.stats c in
+  Alcotest.(check int) "clear resets size" 0 s.Bounded_cache.cs_size;
+  Alcotest.(check int) "clear resets hits" 0 s.cs_hits
+
+let t_cache_set_capacity () =
+  let c = Bounded_cache.create ~capacity:8 () in
+  List.iter
+    (fun k -> ignore (Bounded_cache.remember c k (fun () -> 0)))
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  Bounded_cache.set_capacity c 2;
+  let s = Bounded_cache.stats c in
+  Alcotest.(check bool) "rebound evicts immediately" true (s.Bounded_cache.cs_size <= 2);
+  Alcotest.(check int) "capacity updated" 2 s.cs_capacity
+
+let t_cache_absorb () =
+  let a = Bounded_cache.create ~capacity:4 () in
+  let b = Bounded_cache.create ~capacity:4 () in
+  ignore (Bounded_cache.remember a "x" (fun () -> 0));
+  ignore (Bounded_cache.remember b "y" (fun () -> 0));
+  ignore (Bounded_cache.remember b "y" (fun () -> 0));
+  Bounded_cache.absorb a (Bounded_cache.stats b);
+  let s = Bounded_cache.stats a in
+  Alcotest.(check int) "misses folded" 2 s.Bounded_cache.cs_misses;
+  Alcotest.(check int) "hits folded" 1 s.cs_hits;
+  Alcotest.(check int) "size untouched" 1 s.cs_size
+
+(* --- context isolation & legacy equivalence ----------------------------- *)
+
+let t_ctx_isolation () =
+  let ctx1 = Eval_ctx.create () in
+  let ctx2 = Eval_ctx.create () in
+  let w = test_workload 5 in
+  let a = Pipeline.workload_cost ~ctx:ctx1 Device.i7 w in
+  let b = Pipeline.workload_cost ~ctx:ctx1 Device.i7 w in
+  Alcotest.(check (float 0.0)) "memo is value-transparent" a b;
+  Alcotest.(check int) "ctx1 hit" 1 (Eval_ctx.cost_stats ctx1).Bounded_cache.cs_hits;
+  (* The second context must not see the first one's entries. *)
+  let c = Pipeline.workload_cost ~ctx:ctx2 Device.i7 w in
+  Alcotest.(check (float 1e-12)) "same value recomputed" a c;
+  Alcotest.(check int) "ctx2 saw no hits" 0
+    (Eval_ctx.cost_stats ctx2).Bounded_cache.cs_hits;
+  Alcotest.(check int) "ctx2 missed" 1 (Eval_ctx.cost_stats ctx2).Bounded_cache.cs_misses;
+  Alcotest.(check int) "ctx1 unaffected by ctx2" 1
+    (Eval_ctx.cost_stats ctx1).Bounded_cache.cs_hits
+
+let t_legacy_wrapper_equivalence () =
+  let _, model, _ = setup () in
+  let w = test_workload 6 in
+  Pipeline.clear_cache ();
+  let legacy = Pipeline.workload_cost Device.i7 w in
+  let explicit = Pipeline.workload_cost ~ctx:(Eval_ctx.create ()) Device.i7 w in
+  Alcotest.(check (float 1e-12)) "workload_cost matches" legacy explicit;
+  let plans = Array.map (fun _ -> Site_plan.baseline) model.Models.sites in
+  let ev_legacy = Pipeline.evaluate Device.i7 model ~plans in
+  let ev_explicit = Pipeline.evaluate ~ctx:(Eval_ctx.create ()) Device.i7 model ~plans in
+  Alcotest.(check (float 1e-12)) "evaluate latency matches"
+    ev_legacy.Pipeline.ev_latency_s ev_explicit.Pipeline.ev_latency_s;
+  Alcotest.(check int) "evaluate params match" ev_legacy.Pipeline.ev_params
+    ev_explicit.Pipeline.ev_params;
+  (* The legacy cache controls drive the default context. *)
+  Pipeline.clear_cache ();
+  Alcotest.(check int) "clear_cache empties the default context" 0
+    (Pipeline.cache_stats ()).Pipeline.cs_size
+
+let t_ctx_fork () =
+  let parent =
+    Eval_ctx.create ~cache_capacity:17 ~fisher_capacity:5
+      ~fault:(Fault.make ~seed:3 ~rate:1.0 ()) ()
+  in
+  ignore (Pipeline.workload_cost ~ctx:parent Device.i7 (test_workload 7));
+  let worker = Eval_ctx.fork parent in
+  Alcotest.(check int) "fork starts empty" 0
+    (Eval_ctx.cost_stats worker).Bounded_cache.cs_size;
+  Alcotest.(check int) "cost capacity inherited" 17
+    (Eval_ctx.cost_stats worker).Bounded_cache.cs_capacity;
+  Alcotest.(check int) "fisher capacity inherited" 5
+    (Eval_ctx.fisher_stats worker).Bounded_cache.cs_capacity;
+  (* The forked fault plan draws identically but counts independently. *)
+  Alcotest.(check bool) "fault copy trips like the parent"
+    (Fault.trip (Eval_ctx.fault parent) ~key:9 Fault.Cost_oracle)
+    (Fault.trip (Eval_ctx.fault worker) ~key:9 Fault.Cost_oracle);
+  let parent_injected = Fault.injected (Eval_ctx.fault parent) in
+  ignore (Pipeline.workload_cost ~ctx:worker Device.i7 (test_workload 7));
+  Eval_ctx.absorb parent worker;
+  Alcotest.(check int) "worker telemetry folded into parent" 2
+    (Eval_ctx.cost_stats parent).Bounded_cache.cs_misses;
+  Alcotest.(check int) "worker fault trips folded into parent"
+    (parent_injected + Fault.injected (Eval_ctx.fault worker))
+    (Fault.injected (Eval_ctx.fault parent))
+
+(* --- fisher memo bounding ------------------------------------------------ *)
+
+let t_fisher_memo_bounded () =
+  let rng, model, probe = setup () in
+  let ctx = Eval_ctx.create ~fisher_capacity:4 () in
+  let r =
+    Unified_search.search ~candidates:20 ~ctx ~rng:(Rng.split rng) ~device:Device.i7
+      ~probe model
+  in
+  Alcotest.(check bool) "search completed" true r.Unified_search.r_complete;
+  let fs = Eval_ctx.fisher_stats ctx in
+  Alcotest.(check bool) "fisher memo bounded" true (fs.Bounded_cache.cs_size <= 4);
+  Alcotest.(check bool) "fisher memo evicted FIFO" true (fs.cs_evictions > 0);
+  Alcotest.(check bool) "fisher memo was exercised" true (fs.cs_misses > 0)
+
+(* --- parallel evaluation ------------------------------------------------- *)
+
+let t_map_range_order () =
+  let ctx = Eval_ctx.create () in
+  let out = Parallel_eval.map_range ~workers:3 ~ctx ~first:10 ~limit:23 (fun _ i -> i) in
+  Alcotest.(check (list int)) "index order preserved"
+    (List.init 13 (fun i -> 10 + i))
+    (Array.to_list out);
+  Alcotest.(check int) "empty range" 0
+    (Array.length (Parallel_eval.map_range ~workers:4 ~ctx ~first:5 ~limit:5 (fun _ i -> i)))
+
+let quarantine_fingerprint r =
+  List.map
+    (fun (sig_, e) -> (sig_, Nas_error.class_name e))
+    r.Unified_search.r_quarantined
+
+let run_search ?fault ?budget ~workers () =
+  let rng, model, probe = setup () in
+  Unified_search.search ~candidates:16 ?fault ?budget ~workers
+    ~ctx:(Eval_ctx.create ()) ~rng:(Rng.split rng) ~device:Device.i7 ~probe model
+
+let check_identical a b =
+  Alcotest.(check string) "same best plans"
+    (Unified_search.plans_signature a.Unified_search.r_best.Unified_search.cd_plans)
+    (Unified_search.plans_signature b.Unified_search.r_best.Unified_search.cd_plans);
+  Alcotest.(check (float 0.0)) "same best latency (bit-identical)"
+    a.Unified_search.r_best.Unified_search.cd_latency_s
+    b.Unified_search.r_best.Unified_search.cd_latency_s;
+  Alcotest.(check (float 0.0)) "same best fisher (bit-identical)"
+    a.Unified_search.r_best.Unified_search.cd_fisher
+    b.Unified_search.r_best.Unified_search.cd_fisher;
+  Alcotest.(check int) "same rejection count" a.Unified_search.r_rejected
+    b.Unified_search.r_rejected;
+  Alcotest.(check int) "same evaluated count" a.Unified_search.r_evaluated
+    b.Unified_search.r_evaluated;
+  Alcotest.(check (list (pair string string))) "same sorted quarantine"
+    (quarantine_fingerprint a) (quarantine_fingerprint b)
+
+let t_parallel_determinism () =
+  let a = run_search ~workers:1 () in
+  let b = run_search ~workers:4 () in
+  check_identical a b
+
+let t_parallel_determinism_faulted () =
+  (* Fault draws are pure in (seed, candidate, target), so the quarantine
+     set must also be worker-count invariant. *)
+  let fault () = Fault.make ~seed:11 ~rate:0.3 () in
+  let a = run_search ~fault:(fault ()) ~workers:1 () in
+  let b = run_search ~fault:(fault ()) ~workers:4 () in
+  Alcotest.(check bool) "faults quarantined something" true
+    (a.Unified_search.r_quarantined <> []);
+  check_identical a b
+
+let t_parallel_budget () =
+  let a = run_search ~budget:9 ~workers:1 () in
+  let b = run_search ~budget:9 ~workers:4 () in
+  Alcotest.(check bool) "budget stop reported" false a.Unified_search.r_complete;
+  Alcotest.(check int) "budget respected" 9 a.Unified_search.r_evaluated;
+  check_identical a b
+
+let t_quarantine_sorted () =
+  let r = run_search ~fault:(Fault.make ~seed:5 ~rate:0.5 ()) ~workers:2 () in
+  let sigs = List.map fst r.Unified_search.r_quarantined in
+  Alcotest.(check (list string)) "quarantine sorted by signature"
+    (List.sort compare sigs) sigs
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "engine"
+    [ ( "bounded-cache",
+        [ quick "fifo eviction" t_cache_fifo;
+          quick "stats and error paths" t_cache_stats_and_errors;
+          quick "set_capacity" t_cache_set_capacity;
+          quick "absorb" t_cache_absorb ] );
+      ( "eval-ctx",
+        [ quick "isolation" t_ctx_isolation;
+          quick "legacy wrappers" t_legacy_wrapper_equivalence;
+          quick "fork" t_ctx_fork;
+          quick "fisher memo bounded" t_fisher_memo_bounded ] );
+      ( "parallel",
+        [ quick "map_range order" t_map_range_order;
+          quick "determinism" t_parallel_determinism;
+          quick "determinism under faults" t_parallel_determinism_faulted;
+          quick "determinism under budget" t_parallel_budget;
+          quick "quarantine sorted" t_quarantine_sorted ] ) ]
