@@ -18,42 +18,53 @@ let run_once ~workers =
   let rng = Rng.create seed in
   let model = Models.build (Models.resnet18 ()) rng in
   let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
-  let ctx = Eval_ctx.create () in
+  let obs = Obs.create () in
+  let ctx = Eval_ctx.create ~obs () in
   let t0 = Unix.gettimeofday () in
   let r =
     Unified_search.search ~candidates ~workers ~ctx ~rng:(Rng.split rng)
       ~device:Device.i7 ~probe model
   in
   let dt = Unix.gettimeofday () -. t0 in
-  (r, dt)
+  (r, dt, obs)
+
+(* The deterministic counter namespace (see DESIGN.md §7): these must be
+   bit-identical for every worker count. *)
+let search_counters obs =
+  List.filter
+    (fun (k, _) -> String.length k >= 7 && String.sub k 0 7 = "search.")
+    (Metrics.counters (Obs.metrics obs))
 
 let () =
   let worker_counts = [ 1; 2; 4 ] in
   let runs =
     List.map
       (fun workers ->
-        let r, dt = run_once ~workers in
+        let r, dt, obs = run_once ~workers in
         let throughput = float_of_int r.Unified_search.r_evaluated /. dt in
         Printf.printf "workers=%d  %d candidates in %.2fs  (%.2f cand/s)\n%!"
           workers r.r_evaluated dt throughput;
-        (workers, r, dt, throughput))
+        (workers, r, dt, throughput, obs))
       worker_counts
   in
-  let _, serial, _, serial_tp = List.hd runs in
+  let _, serial, _, serial_tp, serial_obs = List.hd runs in
   let serial_sig =
     Unified_search.plans_signature
       serial.Unified_search.r_best.Unified_search.cd_plans
   in
   List.iter
-    (fun (workers, r, _, _) ->
+    (fun (workers, r, _, _, obs) ->
       let s =
         Unified_search.plans_signature r.Unified_search.r_best.Unified_search.cd_plans
       in
       if s <> serial_sig then (
         Printf.eprintf "DETERMINISM VIOLATION at workers=%d\n" workers;
+        exit 1);
+      if search_counters obs <> search_counters serial_obs then (
+        Printf.eprintf "METRICS DETERMINISM VIOLATION at workers=%d\n" workers;
         exit 1))
     runs;
-  Printf.printf "all worker counts agree on the winner\n%!";
+  Printf.printf "all worker counts agree on the winner and the search counters\n%!";
   let oc = open_out "BENCH_search.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"benchmark\": \"unified-search-throughput\",\n";
@@ -66,7 +77,7 @@ let () =
   Printf.fprintf oc "  \"runs\": [\n";
   let n = List.length runs in
   List.iteri
-    (fun i (workers, r, dt, tp) ->
+    (fun i (workers, r, dt, tp, _) ->
       Printf.fprintf oc
         "    {\"workers\": %d, \"seconds\": %.3f, \"candidates_per_sec\": %.3f, \
          \"speedup_vs_serial\": %.3f, \"best_latency_ms\": %.4f, \"rejected\": %d, \
@@ -77,6 +88,13 @@ let () =
         (List.length r.r_quarantined)
         (if i = n - 1 then "" else ","))
     runs;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  (* The serial run's observability report: per-phase time breakdown and
+     the full counter set, as rendered by Report.to_json. *)
+  Printf.fprintf oc "  \"observability\": %s\n"
+    (Report.to_json
+       (Report.of_metrics ~wall_s:serial.Unified_search.r_wall_s
+          (Obs.metrics serial_obs)));
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote BENCH_search.json\n%!"

@@ -95,6 +95,23 @@ let cache_cap_arg =
   in
   Arg.(value & opt int 8192 & info [ "cache-cap" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL trace of the search to this file: one event per line \
+     (span_begin/span_end/note) covering the baseline, generate, evaluate \
+     (with per-candidate legality/fisher/cost spans) and select phases.  \
+     Trace content is identical for any --workers count."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the observability report after the search: the Fisher rejection \
+     fraction next to the paper's ~90% claim, the per-phase time breakdown \
+     and every collected counter."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let device_of_name name =
   match Device.by_name name with
   | Some d -> d
@@ -114,7 +131,7 @@ let table1_cmd =
 
 let search_cmd =
   let run network device candidates seed resilient fault_rate fault_seed checkpoint
-      checkpoint_every budget workers cache_cap =
+      checkpoint_every budget workers cache_cap trace metrics =
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
@@ -129,7 +146,11 @@ let search_cmd =
     let workers =
       if workers = 0 then Parallel_eval.available_workers () else workers
     in
-    let ctx = Eval_ctx.create ~cache_capacity:cache_cap ~device:dev () in
+    let obs =
+      if trace <> None || metrics then Obs.create ?trace_file:trace ()
+      else Obs.disabled
+    in
+    let ctx = Eval_ctx.create ~cache_capacity:cache_cap ~device:dev ~obs () in
     Format.fprintf ppf "unified search: %s on %s, %d candidates@." model.Models.name
       dev.Device.dev_name candidates;
     if workers > 1 then
@@ -181,6 +202,15 @@ let search_cmd =
         fs.Bounded_cache.cs_hits fs.cs_misses fs.cs_size fs.cs_capacity fs.cs_evictions
     end;
     Format.fprintf ppf "wall:      %a@." Timing.pp_seconds r.r_wall_s;
+    if metrics then
+      Format.fprintf ppf "@.%a" Report.pp
+        (Report.of_metrics ~wall_s:r.r_wall_s (Obs.metrics obs));
+    Obs.close obs;
+    (match trace with
+    | Some path ->
+        Format.fprintf ppf "trace:     %d events written to %s@."
+          (Trace_sink.length (Obs.sink obs)) path
+    | None -> ());
     Format.fprintf ppf "@.winning per-site plans (transformed sites only):@.";
     Array.iteri
       (fun i (p : Site_plan.t) ->
@@ -192,7 +222,8 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
     Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg
           $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
-          $ checkpoint_every_arg $ budget_arg $ workers_arg $ cache_cap_arg)
+          $ checkpoint_every_arg $ budget_arg $ workers_arg $ cache_cap_arg
+          $ trace_arg $ metrics_arg)
 
 let nas_cmd =
   let run network device candidates seed =

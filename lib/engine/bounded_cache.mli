@@ -38,8 +38,11 @@ val set_capacity : 'a t -> int -> unit
     new bound immediately. *)
 
 val capacity : 'a t -> int
+(** Current entry bound. *)
 
 val stats : 'a t -> stats
+(** Snapshot of the hit/miss/eviction counters and current size — the
+    source for the [cache.*] observability counters. *)
 
 val absorb : 'a t -> stats -> unit
 (** Fold another cache's hit/miss/eviction counters into this one's (size

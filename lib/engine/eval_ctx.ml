@@ -6,11 +6,13 @@ type t = {
   ec_budget : int option;
   ec_checkpoint : string option;
   ec_checkpoint_every : int;
+  ec_obs : Obs.t;
   mutable ec_tune_configs : int;
 }
 
 let create ?(cache_capacity = 8192) ?(fisher_capacity = 4096) ?(fault = Fault.none)
-    ?budget ?checkpoint ?(checkpoint_every = 25) ?(device = Device.i7) () =
+    ?budget ?checkpoint ?(checkpoint_every = 25) ?(device = Device.i7)
+    ?(obs = Obs.disabled) () =
   { ec_device = device;
     ec_cost_cache = Bounded_cache.create ~capacity:cache_capacity ();
     ec_fisher_cache = Bounded_cache.create ~capacity:fisher_capacity ();
@@ -18,6 +20,7 @@ let create ?(cache_capacity = 8192) ?(fisher_capacity = 4096) ?(fault = Fault.no
     ec_budget = budget;
     ec_checkpoint = checkpoint;
     ec_checkpoint_every = checkpoint_every;
+    ec_obs = obs;
     ec_tune_configs = 0 }
 
 (* The one piece of module-level mutable state left in the system: the
@@ -53,6 +56,7 @@ let fork t =
     ec_budget = t.ec_budget;
     ec_checkpoint = t.ec_checkpoint;
     ec_checkpoint_every = t.ec_checkpoint_every;
+    ec_obs = Obs.fork t.ec_obs;
     ec_tune_configs = 0 }
 
 let absorb parent worker =
@@ -60,7 +64,8 @@ let absorb parent worker =
   Bounded_cache.absorb parent.ec_fisher_cache
     (Bounded_cache.stats worker.ec_fisher_cache);
   parent.ec_tune_configs <- parent.ec_tune_configs + worker.ec_tune_configs;
-  Fault.add_injected parent.ec_fault (Fault.injected worker.ec_fault)
+  Fault.add_injected parent.ec_fault (Fault.injected worker.ec_fault);
+  Obs.absorb parent.ec_obs worker.ec_obs
 
 let reset t =
   Bounded_cache.clear t.ec_cost_cache;
@@ -68,6 +73,7 @@ let reset t =
   t.ec_tune_configs <- 0
 
 let device t = t.ec_device
+let obs t = t.ec_obs
 let fault t = t.ec_fault
 let budget t = t.ec_budget
 let checkpoint t = t.ec_checkpoint

@@ -23,6 +23,7 @@ val create :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?device:Device.t ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** A fresh context.  [cache_capacity] bounds the workload-cost memo
@@ -31,7 +32,8 @@ val create :
     [checkpoint] and [checkpoint_every] (default 25) are the evaluation
     knobs a search resolves when no explicit argument overrides them.
     [device] (default {!Device.i7}) is the target the context evaluates
-    against. *)
+    against.  [obs] (default {!Obs.disabled}) is the observability
+    recorder every evaluation through this context reports to. *)
 
 val default : unit -> t
 (** The process-wide default context backing the legacy wrappers.  Created
@@ -54,15 +56,17 @@ val with_knobs :
 
 val fork : t -> t
 (** A per-domain worker context: same device, capacities and knobs, fresh
-    empty caches and counters, and an independent copy of the fault plan
+    empty caches and counters, an independent copy of the fault plan
     (fault draws are pure in (seed, key, target), so a fork trips exactly
-    the faults the parent would).  Use {!absorb} after joining to fold the
-    worker's telemetry back into the parent. *)
+    the faults the parent would), and a forked observability recorder
+    whose spans open at the parent's current depth.  Use {!absorb} after
+    joining to fold the worker's telemetry back into the parent. *)
 
 val absorb : t -> t -> unit
 (** [absorb parent worker] adds the worker's cache hit/miss/eviction
     counters, autotuner accounting and injected-fault count into the
-    parent's. *)
+    parent's, and merges the worker's observability recorder (metrics
+    added, trace events appended after the parent's). *)
 
 val reset : t -> unit
 (** Clear both memo caches and the autotuner counter. *)
@@ -70,10 +74,23 @@ val reset : t -> unit
 (* --- accessors --------------------------------------------------------- *)
 
 val device : t -> Device.t
+(** The target device this context evaluates against. *)
+
+val obs : t -> Obs.t
+(** The context's observability recorder ({!Obs.disabled} unless one was
+    passed to {!create}). *)
+
 val fault : t -> Fault.t
+(** The fault-injection plan ({!Fault.none} by default). *)
+
 val budget : t -> int option
+(** The default evaluation budget, if any. *)
+
 val checkpoint : t -> string option
+(** The default checkpoint path, if any. *)
+
 val checkpoint_every : t -> int
+(** Candidates between checkpoint snapshots. *)
 
 val cost_cache : t -> float Bounded_cache.t
 (** The workload-cost memo: key = device|workload-dims|schedule-hints. *)
@@ -82,7 +99,10 @@ val fisher_cache : t -> Fisher.scores Bounded_cache.t
 (** The Fisher-score memo: key = rebuild-seed|plan-signature. *)
 
 val cost_stats : t -> Bounded_cache.stats
+(** Hit/miss/eviction snapshot of the workload-cost memo. *)
+
 val fisher_stats : t -> Bounded_cache.stats
+(** Hit/miss/eviction snapshot of the Fisher-score memo. *)
 
 val note_tune : t -> int -> unit
 (** Record that an autotuner sweep tried this many configurations (called

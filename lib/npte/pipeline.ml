@@ -47,6 +47,11 @@ let workload_cost ?ctx ?(hints = Autotune.no_hints) dev w =
   let ctx = ctx_or_default ctx in
   let key = workload_key dev w hints in
   Bounded_cache.remember (Eval_ctx.cost_cache ctx) key (fun () ->
+      (* Only memo misses pay the autotuner sweep, so this is the
+         cost-model latency worth observing; clock reads are no-ops on a
+         disabled recorder. *)
+      let obs = Eval_ctx.obs ctx in
+      let t0 = Obs.now obs in
       let out_sp = Conv_impl.workload_out_spatial w in
       let nest =
         Loop_nest.conv_nest_of_dims ~co:w.Conv_impl.w_out_channels
@@ -59,7 +64,10 @@ let workload_cost ?ctx ?(hints = Autotune.no_hints) dev w =
         Nas_error.fail (Nas_error.Non_finite Nas_error.Cost_model);
       let elems = w.w_out_channels * out_sp * out_sp in
       let cost = breakdown.Cost_model.total_s +. Cost_model.elementwise_time dev ~elems in
-      Guard.check_float ~source:Nas_error.Cost_model cost)
+      let cost = Guard.check_float ~source:Nas_error.Cost_model cost in
+      Obs.incr obs "pipeline.cost_evals";
+      Obs.observe obs "time.cost_model_s" (Obs.now obs -. t0);
+      cost)
 
 let site_cost ?ctx dev site (plan : Site_plan.t) =
   let ctx = ctx_or_default ctx in

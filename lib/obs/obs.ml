@@ -1,0 +1,55 @@
+type t = {
+  ob_enabled : bool;
+  ob_clock : Obs_clock.t;
+  ob_metrics : Metrics.t;
+  ob_sink : Trace_sink.t;
+  ob_span : Span.t;
+}
+
+let make ?(base_depth = 0) ~enabled ~clock ~sink () =
+  let metrics = Metrics.create () in
+  { ob_enabled = enabled;
+    ob_clock = clock;
+    ob_metrics = metrics;
+    ob_sink = sink;
+    ob_span = Span.create ~base_depth ~clock ~sink ~metrics () }
+
+(* One shared disabled recorder: every operation guards on [ob_enabled],
+   so its internals are never mutated and sharing it is safe (including
+   across domains). *)
+let disabled = make ~enabled:false ~clock:(fun () -> 0.0) ~sink:(Trace_sink.memory ()) ()
+
+let create ?(clock = Obs_clock.wall) ?trace_file () =
+  let sink =
+    match trace_file with Some p -> Trace_sink.file p | None -> Trace_sink.memory ()
+  in
+  make ~enabled:true ~clock ~sink ()
+
+let enabled t = t.ob_enabled
+let metrics t = t.ob_metrics
+let sink t = t.ob_sink
+let events t = Trace_sink.events t.ob_sink
+let now t = if t.ob_enabled then t.ob_clock () else 0.0
+let incr t name = if t.ob_enabled then Metrics.incr t.ob_metrics name
+let add t name n = if t.ob_enabled then Metrics.add t.ob_metrics name n
+let set t name n = if t.ob_enabled then Metrics.set t.ob_metrics name n
+let observe t name v = if t.ob_enabled then Metrics.observe t.ob_metrics name v
+
+let with_span t name f =
+  if t.ob_enabled then Span.with_ t.ob_span name f else f ()
+
+let note t ?detail name = if t.ob_enabled then Span.note t.ob_span ?detail name
+
+let fork t =
+  if not t.ob_enabled then t
+  else
+    make ~base_depth:(Span.depth t.ob_span) ~enabled:true ~clock:t.ob_clock
+      ~sink:(Trace_sink.memory ()) ()
+
+let absorb t worker =
+  if t.ob_enabled && worker.ob_enabled && t != worker then begin
+    Metrics.merge t.ob_metrics worker.ob_metrics;
+    Trace_sink.append t.ob_sink worker.ob_sink
+  end
+
+let close t = if t.ob_enabled then Trace_sink.write t.ob_sink

@@ -1,0 +1,69 @@
+(** The observability recorder: one handle tying together a clock, a
+    metrics registry, a trace sink and a span tracker.
+
+    Evaluation code takes a recorder (via [Eval_ctx]) and calls the
+    operations below unconditionally; on the shared {!disabled} recorder
+    every operation is a guarded no-op, so un-instrumented runs pay one
+    branch per call and allocate nothing.  A recorder is single-domain:
+    parallel evaluation {!fork}s one per worker and {!absorb}s them back
+    in worker order, which keeps merged trace content and deterministic
+    counters identical to a single-worker run (see DESIGN.md §7). *)
+
+type t
+(** A recorder. *)
+
+val disabled : t
+(** The inert recorder: records nothing, [now] returns 0.  Shared and
+    domain-safe; [fork disabled == disabled]. *)
+
+val create : ?clock:Obs_clock.t -> ?trace_file:string -> unit -> t
+(** An enabled recorder.  [clock] defaults to {!Obs_clock.wall};
+    [trace_file] makes {!close} write the buffered trace there as
+    JSONL. *)
+
+val enabled : t -> bool
+(** Whether this recorder records anything. *)
+
+val metrics : t -> Metrics.t
+(** The recorder's metrics registry. *)
+
+val sink : t -> Trace_sink.t
+(** The recorder's trace sink. *)
+
+val events : t -> Obs_event.t list
+(** The buffered trace, oldest first. *)
+
+val now : t -> float
+(** A clock reading (0 when disabled). *)
+
+val incr : t -> string -> unit
+(** Add one to a counter. *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to a counter. *)
+
+val set : t -> string -> int -> unit
+(** Overwrite a counter (end-of-run snapshots). *)
+
+val observe : t -> string -> float -> unit
+(** Record a duration (seconds) into a histogram. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a named span (just the thunk when disabled);
+    exception-safe. *)
+
+val note : t -> ?detail:string -> string -> unit
+(** Emit a point event at the current span depth. *)
+
+val fork : t -> t
+(** A worker recorder: same clock, fresh metrics and memory sink, spans
+    opening at the parent's current depth.  {!disabled} forks to itself. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent worker] merges the worker's metrics and appends its
+    events after the parent's.  Absorbing workers in worker-index order
+    (as [Parallel_eval] does) makes the merged event order equal to the
+    sequential evaluation order. *)
+
+val close : t -> unit
+(** Flush the trace to its configured file, if any. *)

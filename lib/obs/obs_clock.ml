@@ -1,0 +1,9 @@
+type t = unit -> float
+
+let wall = Unix.gettimeofday
+
+let manual ?(start = 0.0) ?(step = 1.0) () =
+  let now = ref (start -. step) in
+  fun () ->
+    now := !now +. step;
+    !now

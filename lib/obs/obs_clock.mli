@@ -1,0 +1,20 @@
+(** Injectable time sources.
+
+    Every timestamp and duration in the observability layer is read
+    through one of these, so tests can drive spans with a deterministic
+    clock and assert exact durations instead of sleeping. *)
+
+type t = unit -> float
+(** A clock: each call returns the current time in seconds.  Only
+    differences between readings are meaningful. *)
+
+val wall : t
+(** The system clock ([Unix.gettimeofday]).  Readings are not guaranteed
+    monotonic across clock adjustments, but span durations are taken from
+    paired readings microseconds-to-seconds apart, where it behaves as
+    one. *)
+
+val manual : ?start:float -> ?step:float -> unit -> t
+(** A deterministic test clock: the first reading is [start] (default 0)
+    and every subsequent reading advances by [step] (default 1).  Not
+    domain-safe — use one per domain. *)

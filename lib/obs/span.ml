@@ -1,0 +1,40 @@
+type t = {
+  sp_clock : Obs_clock.t;
+  sp_sink : Trace_sink.t;
+  sp_metrics : Metrics.t;
+  sp_base_depth : int;
+  mutable sp_stack : (string * float) list;
+}
+
+let create ?(base_depth = 0) ~clock ~sink ~metrics () =
+  { sp_clock = clock;
+    sp_sink = sink;
+    sp_metrics = metrics;
+    sp_base_depth = base_depth;
+    sp_stack = [] }
+
+let depth t = t.sp_base_depth + List.length t.sp_stack
+
+let enter t name =
+  let now = t.sp_clock () in
+  Trace_sink.emit t.sp_sink (Obs_event.span_begin ~name ~depth:(depth t) ~t:now);
+  t.sp_stack <- (name, now) :: t.sp_stack
+
+let leave t =
+  match t.sp_stack with
+  | [] -> ()
+  | (name, t0) :: rest ->
+      t.sp_stack <- rest;
+      let now = t.sp_clock () in
+      let dur = now -. t0 in
+      Trace_sink.emit t.sp_sink
+        (Obs_event.span_end ~name ~depth:(depth t) ~t:now ~dur_s:dur);
+      Metrics.observe t.sp_metrics ("span." ^ name) dur
+
+let with_ t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> leave t) f
+
+let note t ?detail name =
+  Trace_sink.emit t.sp_sink
+    (Obs_event.note ?detail ~name ~depth:(depth t) ~t:(t.sp_clock ()) ())

@@ -1,0 +1,43 @@
+(** Nestable timed spans.
+
+    A span tracker owns a stack of open spans.  Opening a span emits a
+    {!Obs_event.Span_begin} at the current depth; closing it emits the
+    matching [Span_end] with the measured duration and feeds that duration
+    into the ["span.<name>"] histogram of the attached metrics registry —
+    which is where the per-phase time breakdown in {!Report} comes from.
+
+    Trackers are single-domain.  A worker fork starts with an empty stack
+    but inherits the parent's current depth as [base_depth], so spans
+    recorded inside a worker nest at the same depth they would have in a
+    sequential run — a precondition for traces being content-identical
+    across worker counts. *)
+
+type t
+(** A span tracker (clock + sink + metrics + open-span stack). *)
+
+val create :
+  ?base_depth:int ->
+  clock:Obs_clock.t ->
+  sink:Trace_sink.t ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** A tracker with an empty stack whose first span opens at depth
+    [base_depth] (default 0). *)
+
+val depth : t -> int
+(** The depth the next span would open at: [base_depth] + open spans. *)
+
+val enter : t -> string -> unit
+(** Open a span named [name]. *)
+
+val leave : t -> unit
+(** Close the innermost open span (no-op on an empty stack), emitting its
+    duration and observing it in the ["span.<name>"] histogram. *)
+
+val with_ : t -> string -> (unit -> 'a) -> 'a
+(** [with_ t name f] runs [f] inside a span; the span is closed even when
+    [f] raises. *)
+
+val note : t -> ?detail:string -> string -> unit
+(** Emit a point event at the current depth. *)

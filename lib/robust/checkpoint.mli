@@ -11,8 +11,12 @@
     embedding its own compatibility key in the saved value. *)
 
 val save : path:string -> 'a -> (unit, Nas_error.t) result
+(** Atomically replace the checkpoint at [path] with a snapshot of the
+    value; IO failures come back as {!Nas_error.Checkpoint_error}. *)
 
 val load : path:string -> ('a, Nas_error.t) result
+(** Read a snapshot back.  Missing, truncated, stale-versioned or foreign
+    files all load as {!Nas_error.Checkpoint_error}. *)
 
 val remove : path:string -> unit
 (** Delete the checkpoint if present (no error if missing). *)

@@ -19,6 +19,7 @@ type target =
 type t
 
 val all_targets : target list
+(** Every injectable target, in declaration order. *)
 
 val none : t
 (** The disabled plan: never trips, costs nothing. *)
@@ -28,6 +29,7 @@ val make : ?targets:target list -> seed:int -> rate:float -> unit -> t
     probability [rate] per candidate. *)
 
 val enabled : t -> bool
+(** [false] exactly for {!none}-equivalent plans (rate 0 or no targets). *)
 
 val trip : t -> key:int -> target -> bool
 (** Deterministic draw for (candidate [key], [target]); counts trips. *)
@@ -48,3 +50,4 @@ val add_injected : t -> int -> unit
 (** Fold a worker copy's trip count into this plan's counter. *)
 
 val target_name : target -> string
+(** Stable label for logs and failure attribution ("fisher-oracle", ...). *)

@@ -7,7 +7,10 @@
     at the point where it is produced. *)
 
 val finite : float -> bool
+(** [true] iff the value is neither NaN nor infinite. *)
+
 val all_finite : float array -> bool
+(** {!finite} on every element. *)
 
 val check_float : source:Nas_error.source -> float -> float
 (** Identity on finite floats; {!Nas_error.fail}s with [Non_finite source]

@@ -30,15 +30,20 @@ val invalid_plan : ('a, unit, string, 'b) format4 -> 'a
 (** [invalid_plan fmt ...] fails with a formatted {!Invalid_plan}. *)
 
 val shape_mismatch : ('a, unit, string, 'b) format4 -> 'a
+(** [shape_mismatch fmt ...] fails with a formatted {!Shape_mismatch}. *)
 
 val source_to_string : source -> string
+(** Stable label for a failure source ("fisher-score", "cost-model", ...). *)
 
 val class_name : t -> string
 (** Short stable label for failure attribution ("invalid-plan",
     "non-finite:fisher-score", ...); the payload message is dropped. *)
 
 val to_string : t -> string
+(** Human-readable rendering: class label plus the payload message. *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)
 
 val of_exn : exn -> t option
 (** Classify an exception: structured errors pass through, the legacy

@@ -50,6 +50,8 @@ let impls_signature seed impls =
 let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ?ctx ~rng ~probe
     model =
   let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
+  let obs = Eval_ctx.obs ctx in
+  Obs.with_span obs "blockswap" @@ fun () ->
   let baseline_impls = Array.map (fun _ -> Conv_impl.Full) model.Models.sites in
   (* The budget constrains the transformable convolutions; the fixed
      backbone (stems, shortcuts, transitions) is not substitutable. *)
@@ -77,6 +79,7 @@ let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ?ctx ~rng ~pr
     in
     if site_params model impls <= budget then begin
       incr sampled;
+      Obs.incr obs "blockswap.sampled";
       let scores = score_of impls in
       if Fisher.legal_clipped ~slack ~baseline:baseline_scores scores then begin
         let fisher = Fisher.clipped_total ~baseline:baseline_scores scores in
@@ -84,7 +87,9 @@ let search ?(samples = 200) ?(budget_ratio = 0.45) ?(slack = 0.12) ?ctx ~rng ~pr
         | Some (_, f) when f >= fisher -> ()
         | _ -> best := Some (impls, fisher)
       end
+      else Obs.incr obs "blockswap.fisher_rejected"
     end
+    else Obs.incr obs "blockswap.budget_skipped"
   done;
   let impls, bs_fisher =
     match !best with

@@ -27,6 +27,8 @@ let latency_of ?ctx device model impls =
 let search ?(rounds = 4) ?(population = 6) ?(train_steps = 40)
     ?(latency_weight = 0.35) ?ctx ~rng ~device ~data model =
   let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
+  let obs = Eval_ctx.obs ctx in
+  Obs.with_span obs "fbnet" @@ fun () ->
   let menus = Array.map Blockswap.menu model.Models.sites in
   let menus = Array.map Array.of_list menus in
   let logits = Array.map (fun m -> Array.make (max 1 (Array.length m)) 0.0) menus in
@@ -36,6 +38,7 @@ let search ?(rounds = 4) ?(population = 6) ?(train_steps = 40)
     (* Short proxy training: the expensive step FBNet pays at every
        evaluation and the unified approach avoids entirely. *)
     incr trainings;
+    Obs.incr obs "fbnet.trainings";
     let candidate = Models.rebuild model (Rng.split rng) impls in
     let batch_rng = Rng.split rng in
     let steps = train_steps in

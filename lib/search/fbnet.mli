@@ -18,6 +18,12 @@ type result = {
   fb_simulated_gpu_days : float;
 }
 
+(** Run the FBNet-style search: [rounds] cross-entropy updates of the
+    per-site logits, sampling [population] networks per round and scoring
+    each with a [train_steps]-step proxy training against [data], with
+    latency on [device] weighted into the reward by [latency_weight].
+    Spans and counters land on [ctx]'s observability recorder under the
+    ["fbnet"] span. *)
 val search :
   ?rounds:int ->
   ?population:int ->

@@ -34,10 +34,14 @@ let configurations model =
       Array.mapi (fun i site -> if i mod 2 = 0 then sg site else g 4 site) sites ) ]
 
 let run ?(seeds = 3) ?(train_steps = 60) ?ctx ~rng ~device ~data model =
+  let ctx = match ctx with Some c -> c | None -> Eval_ctx.default () in
+  let obs = Eval_ctx.obs ctx in
+  Obs.with_span obs "interpolate" @@ fun () ->
   let val_batches =
     List.filteri (fun i _ -> i < 4) (Synthetic_data.batches data ~batch_size:16)
   in
   let evaluate_config (name, kind, impls) =
+    Obs.incr obs "interpolate.configs";
     let accs =
       Array.init seeds (fun _ ->
           let candidate = Models.rebuild model (Rng.split rng) impls in
@@ -51,7 +55,7 @@ let run ?(seeds = 3) ?(train_steps = 60) ?ctx ~rng ~device ~data model =
           Train.evaluate candidate val_batches)
     in
     let plans = Array.map (fun impl -> Site_plan.make impl) impls in
-    let latency = (Pipeline.evaluate ?ctx device model ~plans).Pipeline.ev_latency_s in
+    let latency = (Pipeline.evaluate ~ctx device model ~plans).Pipeline.ev_latency_s in
     { ip_name = name;
       ip_kind = kind;
       ip_latency_s = latency;

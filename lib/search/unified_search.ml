@@ -108,34 +108,44 @@ let generate_pool rng model ~candidates ~mutate_prob =
    every failure mode raises a structured {!Nas_error.Fail} for the
    caller to quarantine. *)
 let eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans =
+  let obs = Eval_ctx.obs ctx in
   if Fault.trip fault ~key:index Fault.Plan_gen then
     Nas_error.fail (Nas_error.Injected_fault "plan generation");
-  Array.iteri
-    (fun i p ->
-      if not (Site_plan.valid model.Models.sites.(i) p) then
-        Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
-          p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
-    plans;
-  let scores = oracle_scores ctx oracle model probe plans in
-  let total =
-    Fault.corrupt_float fault ~key:index Fault.Fisher_oracle scores.Fisher.total
+  Obs.with_span obs "legality" (fun () ->
+      Array.iteri
+        (fun i p ->
+          if not (Site_plan.valid model.Models.sites.(i) p) then
+            Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
+              p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
+        plans);
+  let legal_total =
+    Obs.with_span obs "fisher" (fun () ->
+        let scores = oracle_scores ctx oracle model probe plans in
+        let total =
+          Fault.corrupt_float fault ~key:index Fault.Fisher_oracle scores.Fisher.total
+        in
+        let total = Guard.check_float ~source:Nas_error.Fisher_score total in
+        ignore (Guard.check_array ~source:Nas_error.Fisher_score scores.Fisher.per_site);
+        if Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores then
+          Some total
+        else None)
   in
-  let total = Guard.check_float ~source:Nas_error.Fisher_score total in
-  ignore (Guard.check_array ~source:Nas_error.Fisher_score scores.Fisher.per_site);
-  if not (Fisher.legal_clipped ~slack ~baseline:oracle.fo_reference scores) then None
-  else begin
-    let ev = Pipeline.evaluate ~ctx device model ~plans in
-    let latency =
-      Fault.corrupt_float fault ~key:index Fault.Cost_oracle ev.Pipeline.ev_latency_s
-    in
-    let latency = Guard.check_float ~source:Nas_error.Cost_model latency in
-    Some
-      { cd_plans = plans;
-        cd_fisher = total;
-        cd_latency_s = latency;
-        cd_macs = ev.ev_macs;
-        cd_params = ev.ev_params }
-  end
+  match legal_total with
+  | None -> None
+  | Some total ->
+      Obs.with_span obs "cost" (fun () ->
+          let ev = Pipeline.evaluate ~ctx device model ~plans in
+          let latency =
+            Fault.corrupt_float fault ~key:index Fault.Cost_oracle
+              ev.Pipeline.ev_latency_s
+          in
+          let latency = Guard.check_float ~source:Nas_error.Cost_model latency in
+          Some
+            { cd_plans = plans;
+              cd_fisher = total;
+              cd_latency_s = latency;
+              cd_macs = ev.ev_macs;
+              cd_params = ev.ev_params })
 
 (* The three ways one candidate evaluation can end.  Outcomes are pure
    per-index values, so replaying them in index order merges to the same
@@ -146,14 +156,27 @@ type outcome =
   | O_rejected
   | O_failed of string * Nas_error.t
 
+(* Telemetry is recorded on [ctx]'s recorder — the worker's fork in a
+   parallel run — right here, next to the candidate's spans: counters
+   merge exactly (integer adds) and quarantine notes ride between the
+   spans, so the merged trace and the [search.*] counters are identical
+   for every worker count. *)
 let eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model index plans =
+  let obs = Eval_ctx.obs ctx in
   match
     Nas_error.guard (fun () ->
         eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans)
   with
-  | Ok (Some cand) -> O_survivor cand
-  | Ok None -> O_rejected
-  | Error e -> O_failed (plans_signature plans, e)
+  | Ok (Some cand) ->
+      Obs.incr obs "search.cost_ranked";
+      O_survivor cand
+  | Ok None ->
+      Obs.incr obs "search.fisher_rejected";
+      O_rejected
+  | Error e ->
+      Obs.incr obs "search.quarantined";
+      Obs.note obs ~detail:(Nas_error.class_name e) "quarantine";
+      O_failed (plans_signature plans, e)
 
 (* --- checkpoint/resume -------------------------------------------------- *)
 
@@ -178,6 +201,28 @@ let load_checkpoint path key =
   | Ok st when st.ck_key = key -> Some st
   | Ok _ | Error _ -> None
 
+(* End-of-search snapshots of the engine's own accumulators.  These are
+   [set], not [incr]: a context reused across searches reports its
+   cumulative state.  The [cache.*] values depend on how workers split the
+   pool (each fork starts with cold caches), so they are deliberately
+   outside the deterministic [search.*] namespace. *)
+let snapshot_engine_counters ctx =
+  let obs = Eval_ctx.obs ctx in
+  if Obs.enabled obs then begin
+    let cs = Eval_ctx.cost_stats ctx in
+    Obs.set obs "cache.cost.hits" cs.Bounded_cache.cs_hits;
+    Obs.set obs "cache.cost.misses" cs.cs_misses;
+    Obs.set obs "cache.cost.evictions" cs.cs_evictions;
+    Obs.set obs "cache.cost.size" cs.cs_size;
+    let fs = Eval_ctx.fisher_stats ctx in
+    Obs.set obs "cache.fisher.hits" fs.Bounded_cache.cs_hits;
+    Obs.set obs "cache.fisher.misses" fs.cs_misses;
+    Obs.set obs "cache.fisher.evictions" fs.cs_evictions;
+    Obs.set obs "cache.fisher.size" fs.cs_size;
+    Obs.set obs "engine.tune_configs" (Eval_ctx.tune_configs ctx);
+    Obs.set obs "engine.faults_injected" (Fault.injected (Eval_ctx.fault ctx))
+  end
+
 let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?budget
     ?checkpoint ?checkpoint_every ?(workers = 1) ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
@@ -193,10 +238,17 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?bu
   let budget = Eval_ctx.budget ctx in
   let checkpoint = Eval_ctx.checkpoint ctx in
   let checkpoint_every = Eval_ctx.checkpoint_every ctx in
-  let baseline = Pipeline.baseline ~ctx device model in
-  let oracle = make_oracle rng model probe in
+  let obs = Eval_ctx.obs ctx in
+  Obs.with_span obs "search" @@ fun () ->
+  let baseline =
+    Obs.with_span obs "baseline" (fun () -> Pipeline.baseline ~ctx device model)
+  in
+  let oracle, pool =
+    Obs.with_span obs "generate" (fun () ->
+        let oracle = make_oracle rng model probe in
+        (oracle, generate_pool rng model ~candidates ~mutate_prob))
+  in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
-  let pool = generate_pool rng model ~candidates ~mutate_prob in
   let n = Array.length pool in
   let key = ckpt_key model device ~pool_size:n ~slack in
   let resumed =
@@ -231,6 +283,12 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?bu
      what lets a worker pool split it deterministically. *)
   let limit = match budget with Some b -> min n (max first b) | None -> n in
   let stopped = limit < n in
+  (* The [search.*] counters are the deterministic namespace: every value
+     below is a pure function of the search configuration, so they are
+     bit-identical across worker counts (unlike [cache.*] hit rates, which
+     depend on how the pool was split). *)
+  Obs.set obs "search.generated" n;
+  Obs.set obs "search.resumed" first;
   let merge_outcome = function
     | O_survivor cand -> (
         match !best with
@@ -239,32 +297,35 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?bu
     | O_rejected -> incr rejected
     | O_failed (label, e) -> quarantine_rev := (label, e) :: !quarantine_rev
   in
-  if workers <= 1 then begin
-    (* Sequential path: shared caches across the whole pool, periodic
-       checkpoints. *)
-    let i = ref first in
-    while !i < limit do
-      merge_outcome
-        (eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model !i pool.(!i));
-      incr i;
-      if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
-        save_checkpoint !i
-    done
-  end
-  else
-    (* Parallel path: per-domain context forks evaluate contiguous chunks;
-       outcomes come back in index order, so the sequential merge below
-       reproduces the workers=1 result exactly. *)
-    Array.iter merge_outcome
-      (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
-           eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack ~oracle ~device
-             ~probe model i pool.(i)));
+  Obs.with_span obs "evaluate" (fun () ->
+      if workers <= 1 then begin
+        (* Sequential path: shared caches across the whole pool, periodic
+           checkpoints. *)
+        let i = ref first in
+        while !i < limit do
+          merge_outcome
+            (eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model !i pool.(!i));
+          incr i;
+          if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
+            save_checkpoint !i
+        done
+      end
+      else
+        (* Parallel path: per-domain context forks evaluate contiguous
+           chunks; outcomes come back in index order, so the sequential
+           merge below reproduces the workers=1 result exactly. *)
+        Array.iter merge_outcome
+          (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
+               eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack ~oracle
+                 ~device ~probe model i pool.(i))));
   save_checkpoint (if stopped then limit else n);
   let best_cand =
-    match !best with
-    | Some b -> b
-    | None -> fallback_candidate model baseline baseline_fisher
+    Obs.with_span obs "select" (fun () ->
+        match !best with
+        | Some b -> b
+        | None -> fallback_candidate model baseline baseline_fisher)
   in
+  snapshot_engine_counters ctx;
   { r_best = best_cand;
     r_baseline = baseline;
     r_baseline_fisher = baseline_fisher;

@@ -1,0 +1,120 @@
+(* Doc-comment coverage lint.
+
+   odoc is not part of the pinned toolchain image, so `dune build @doc`
+   alone cannot enforce documentation in CI.  This lint closes the gap:
+   it walks the given directories and requires every exported [val] in
+   every `.mli` to carry a doc comment — either `(** ... *)` immediately
+   above the declaration or anywhere between the declaration and the next
+   top-level item (the two styles used in this repo).  Exit 1 lists every
+   undocumented export.
+
+     doc_lint DIR...          (wired into `dune build @ci` from the root) *)
+
+let decl_re_matches line =
+  (* A top-level item boundary: val/type/module/exception/include/external
+     at the start of the line (tolerating leading spaces inside sigs). *)
+  let t = String.trim line in
+  List.exists
+    (fun kw ->
+      String.length t >= String.length kw
+      && String.sub t 0 (String.length kw) = kw)
+    [ "val "; "type "; "module "; "exception "; "include "; "external " ]
+
+let is_val line =
+  let t = String.trim line in
+  String.length t >= 4 && String.sub t 0 4 = "val "
+
+let contains_doc_open line =
+  let n = String.length line in
+  let rec go i = i + 3 <= n && (String.sub line i 3 = "(**" || go (i + 1)) in
+  go 0
+
+let ends_doc_close line =
+  let t = String.trim line in
+  let n = String.length t in
+  n >= 2 && String.sub t (n - 2) 2 = "*)"
+
+let val_name line =
+  let t = String.trim line in
+  let rest = String.sub t 4 (String.length t - 4) in
+  let rest = String.trim rest in
+  let rest = if String.length rest > 0 && rest.[0] = '(' then rest else rest in
+  match String.index_opt rest ' ' with
+  | Some i -> String.sub rest 0 i
+  | None -> ( match String.index_opt rest ':' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest)
+
+let check_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let n = Array.length lines in
+  let undocumented = ref [] in
+  for i = 0 to n - 1 do
+    if is_val lines.(i) then begin
+      (* Documented above: nearest preceding non-blank line closes a
+         comment block. *)
+      let doc_above =
+        let j = ref (i - 1) in
+        while !j >= 0 && String.trim lines.(!j) = "" do decr j done;
+        !j >= 0 && ends_doc_close lines.(!j)
+      in
+      (* Documented below: a doc comment opens somewhere between this
+         declaration and the next top-level item. *)
+      let doc_below =
+        let found = ref false in
+        let j = ref i in
+        let stop = ref false in
+        while not !stop do
+          if contains_doc_open lines.(!j) then begin
+            found := true;
+            stop := true
+          end
+          else begin
+            incr j;
+            if !j >= n || (decl_re_matches lines.(!j) && !j > i) then stop := true
+          end
+        done;
+        !found
+      in
+      if not (doc_above || doc_below) then
+        undocumented := (i + 1, val_name lines.(i)) :: !undocumented
+    end
+  done;
+  List.rev !undocumented
+
+let mli_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mli")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "." ] | _ :: rest -> rest
+  in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun dir ->
+      List.iter
+        (fun path ->
+          incr checked;
+          List.iter
+            (fun (line, name) ->
+              incr failures;
+              Printf.eprintf "%s:%d: undocumented val %s\n" path line name)
+            (check_file path))
+        (mli_files dir))
+    dirs;
+  if !failures > 0 then begin
+    Printf.eprintf "doc_lint: %d undocumented export(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "doc_lint: %d .mli files fully documented\n" !checked
