@@ -89,6 +89,27 @@ let () =
         (if i = n - 1 then "" else ","))
     runs;
   Printf.fprintf oc "  ],\n";
+  (* Differential-sanitizer agreement rate: the static legality analyzer
+     against the sampling oracle over the seeded fuzz corpus (the same
+     corpus `dune build @sanitize` gates CI on). *)
+  let sr = Sanitizer.run ~seed:2026 ~n:200 () in
+  Printf.printf "sanitizer: %d plans, %d disagreements, %.1f%% unknown\n%!"
+    sr.Sanitizer.rs_total
+    (List.length sr.Sanitizer.rs_disagreements)
+    (100.0 *. Sanitizer.unknown_rate sr);
+  if not (Sanitizer.passed sr) then (
+    Printf.eprintf "SANITIZER FAILURE: static analyzer diverges from the oracle\n";
+    exit 1);
+  Printf.fprintf oc
+    "  \"sanitizer\": {\"plans\": %d, \"agree_legal\": %d, \"agree_illegal\": %d, \
+     \"unknown\": %d, \"disagreements\": %d, \"agreement_rate\": %.4f, \
+     \"unknown_rate\": %.4f, \"static_seconds\": %.4f, \"oracle_seconds\": %.4f},\n"
+    sr.Sanitizer.rs_total sr.Sanitizer.rs_agree_legal sr.Sanitizer.rs_agree_illegal
+    sr.Sanitizer.rs_unknown
+    (List.length sr.Sanitizer.rs_disagreements)
+    (1.0 -. Sanitizer.unknown_rate sr)
+    (Sanitizer.unknown_rate sr)
+    sr.Sanitizer.rs_static_time sr.Sanitizer.rs_oracle_time;
   (* The serial run's observability report: per-phase time breakdown and
      the full counter set, as rendered by Report.to_json. *)
   Printf.fprintf oc "  \"observability\": %s\n"

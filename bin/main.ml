@@ -83,9 +83,9 @@ let budget_arg =
 
 let workers_arg =
   let doc =
-    "Evaluate candidates on N parallel worker domains (default 1).  Any \
-     worker count returns the identical best candidate, rejection count and \
-     quarantine list; 0 means the runtime's recommended domain count."
+    "Evaluate candidates on N parallel worker domains (default 1; must be \
+     positive).  Any worker count returns the identical best candidate, \
+     rejection count and quarantine list."
   in
   Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc)
 
@@ -112,6 +112,44 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let static_filter_arg =
+  let doc =
+    "Vet candidate plans with the static analyzer before any Fisher \
+     evaluation (default true).  The static and dynamic validity checks \
+     are equivalent, so the search result is bit-identical either way; \
+     the filter adds the analysis.static_reject counter to the report."
+  in
+  Arg.(value & opt bool true & info [ "static-filter" ] ~docv:"BOOL" ~doc)
+
+let analyze_arg =
+  let doc =
+    "Do not search: run the static analyzer (dependence direction vectors, \
+     shape/channel inference, access bounds) over every transformable site \
+     of the network and print the diagnostics.  Exits 1 if any error-level \
+     finding is reported."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+let plan_arg =
+  let doc =
+    "With --analyze: analyze this explicit transformation plan per site \
+     instead of the standard sequence menu.  Steps separated by ';', e.g. \
+     'split@1:2;interchange@1,2;unroll@5:4'."
+  in
+  Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"SPEC" ~doc)
+
+(* Probe a log/checkpoint destination before the search spends minutes of
+   work: an unwritable path must be a usage error (exit 2) up front, not a
+   warning at the first write.  The probe leaves existing files untouched
+   and removes any file it had to create. *)
+let ensure_writable flag path =
+  let existed = Sys.file_exists path in
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+      close_out oc;
+      if not existed then ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error msg -> die "%s path is not writable: %s" flag msg
+
 let device_of_name name =
   match Device.by_name name with
   | Some d -> d
@@ -129,23 +167,55 @@ let table1_cmd =
   let run () = Exp_table1.run ppf in
   Cmd.v (Cmd.info "table1" ~doc:"Print the unified transformation menu") Term.(const run $ const ())
 
+let analyze_model ppf model plan_spec =
+  let plan =
+    match plan_spec with
+    | None -> None
+    | Some spec -> (
+        match Plan_lint.of_string spec with
+        | Ok steps -> Some steps
+        | Error msg -> die "--plan: %s" msg)
+  in
+  let reports = Static_check.analyze_model ?plan model in
+  Format.fprintf ppf "@[<v>%a@]@." Static_check.pp_report reports;
+  let errors = Static_check.report_errors reports in
+  let unknown =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.Static_check.sr_verdict with
+           | Direction.Unknown _ -> true
+           | _ -> false)
+         reports)
+  in
+  Format.fprintf ppf "analyzed %d subjects: %d error findings, %d unknown verdicts@."
+    (List.length reports) (List.length errors) unknown;
+  if errors <> [] then exit 1
+
 let search_cmd =
   let run network device candidates seed resilient fault_rate fault_seed checkpoint
-      checkpoint_every budget workers cache_cap trace metrics =
+      checkpoint_every budget workers cache_cap trace metrics static_filter analyze
+      plan =
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
+    if analyze then begin
+      Format.fprintf ppf "static analysis: %s for %s@." model.Models.name
+        dev.Device.dev_name;
+      analyze_model ppf model plan
+    end
+    else begin
+    if plan <> None then die "--plan requires --analyze";
     let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
     let fault =
       if fault_rate <= 0.0 then Fault.none
       else
         Fault.make ~seed:(Option.value fault_seed ~default:seed) ~rate:fault_rate ()
     in
-    if workers < 0 then die "--workers must be >= 0 (0 = recommended domain count)";
+    if workers <= 0 then die "--workers must be positive";
     if cache_cap < 1 then die "--cache-cap must be >= 1";
-    let workers =
-      if workers = 0 then Parallel_eval.available_workers () else workers
-    in
+    Option.iter (ensure_writable "--trace") trace;
+    Option.iter (ensure_writable "--checkpoint") checkpoint;
     let obs =
       if trace <> None || metrics then Obs.create ?trace_file:trace ()
       else Obs.disabled
@@ -159,8 +229,8 @@ let search_cmd =
       Format.fprintf ppf "fault injection: rate %.0f%% per oracle per candidate@."
         (100.0 *. fault_rate);
     let r =
-      Unified_search.search ~candidates ~fault ?budget ?checkpoint ~checkpoint_every
-        ~workers ~ctx ~rng:(Rng.split rng) ~device:dev ~probe model
+      Unified_search.search ~candidates ~static_filter ~fault ?budget ?checkpoint
+        ~checkpoint_every ~workers ~ctx ~rng:(Rng.split rng) ~device:dev ~probe model
     in
     (match r.Unified_search.r_checkpoint_error with
     | Some e ->
@@ -218,12 +288,13 @@ let search_cmd =
           Format.fprintf ppf "  %-18s %s@." model.Models.sites.(i).Conv_impl.site_label
             p.Site_plan.sp_name)
       r.r_best.cd_plans
+    end
   in
   Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
     Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg
           $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
           $ checkpoint_every_arg $ budget_arg $ workers_arg $ cache_cap_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ static_filter_arg $ analyze_arg $ plan_arg)
 
 let nas_cmd =
   let run network device candidates seed =

@@ -1,0 +1,36 @@
+type severity = Error | Warn
+
+type t = {
+  d_severity : severity;
+  d_code : string;
+  d_loop : int option;
+  d_dep : string option;
+  d_msg : string;
+}
+
+let make ?loop ?dep severity code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      { d_severity = severity; d_code = code; d_loop = loop; d_dep = dep; d_msg = msg })
+    fmt
+
+let error ?loop ?dep ~code fmt = make ?loop ?dep Error code fmt
+let warn ?loop ?dep ~code fmt = make ?loop ?dep Warn code fmt
+
+let is_error d = d.d_severity = Error
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter (fun d -> not (is_error d)) ds
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+let to_string d =
+  let ctx =
+    (match d.d_loop with Some l -> Printf.sprintf " [dim %d]" l | None -> "")
+    ^ match d.d_dep with Some dep -> Printf.sprintf " [dep %s]" dep | None -> ""
+  in
+  Printf.sprintf "%s(%s)%s: %s" (severity_to_string d.d_severity) d.d_code ctx d.d_msg
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let pp_list ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp d) ds

@@ -1,0 +1,248 @@
+type verdict =
+  | Legal
+  | Illegal of Diagnostic.t list
+  | Unknown of string
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* One digit occurrence in the schedule, with its place in the time vector:
+   loop index and radix multiplier inside the loop's mixed-radix value. *)
+type dref = {
+  r_id : int;
+  r_loop : int;
+  r_radix : int;
+  r_extent : int;
+  r_contribs : Poly.contrib list;
+}
+
+let digit_refs (t : Poly.t) =
+  let refs = ref [] in
+  let id = ref 0 in
+  List.iteri
+    (fun li (l : Poly.loop) ->
+      let digits = Array.of_list l.Poly.digits in
+      let n = Array.length digits in
+      let radix = Array.make n 1 in
+      for di = n - 2 downto 0 do
+        radix.(di) <- radix.(di + 1) * digits.(di + 1).Poly.extent
+      done;
+      Array.iteri
+        (fun di (d : Poly.digit) ->
+          refs :=
+            { r_id = !id;
+              r_loop = li;
+              r_radix = radix.(di);
+              r_extent = d.Poly.extent;
+              r_contribs = d.Poly.contribs }
+            :: !refs;
+          incr id)
+        digits)
+    t.Poly.loops;
+  Array.of_list (List.rev !refs)
+
+(* The mixed-radix digit chain of one iterator: its digits sorted by
+   ascending weight, extent-1 digits dropped (their value is pinned to 0).
+   Every schedule [Poly] can construct keeps chains canonical — weight 1 at
+   the bottom, each weight equal to the previous positional step, total
+   product equal to the iterator's domain extent — so a non-canonical chain
+   is outside the analyzer's theory and yields [Unknown]. *)
+let chain_of refs t name =
+  let entries =
+    Array.to_list refs
+    |> List.filter_map (fun r ->
+           if r.r_extent <= 1 then None
+           else
+             match
+               List.find_opt (fun (c : Poly.contrib) -> c.Poly.src = name) r.r_contribs
+             with
+             | Some c -> Some (r, c.Poly.weight)
+             | None -> None)
+    |> List.sort (fun (_, w1) (_, w2) -> compare w1 w2)
+  in
+  let extent = Poly.iter_extent t name in
+  let expected = ref 1 in
+  List.iter
+    (fun (r, w) ->
+      if w <> !expected then
+        unsupported "iterator %s: digit weight %d where %d was expected (non-canonical chain)"
+          name w !expected;
+      expected := w * r.r_extent)
+    entries;
+  if !expected <> extent then
+    unsupported "iterator %s: digit chain covers %d of extent %d" name !expected extent;
+  entries
+
+(* One digit's possible behaviours when the iterator moves by its distance:
+   [(carry_out, value_delta, vlo, vhi)] where [vlo..vhi] is the interval of
+   ORIGINAL digit values realizing that behaviour (used to join shared
+   group digits).  [q] is this digit of |distance| in the chain's radix,
+   [cin] the incoming carry (addition) or borrow (subtraction). *)
+let digit_cases ~negative ~extent:n ~q ~cin =
+  if negative then
+    (if q + cin <= n - 1 then [ (0, -(q + cin), q + cin, n - 1) ] else [])
+    @ (if q + cin >= 1 then [ (1, n - (q + cin), 0, q + cin - 1) ] else [])
+  else
+    (if q + cin <= n - 1 then [ (0, q + cin, 0, n - 1 - (q + cin)) ] else [])
+    @ (if q + cin >= 1 then [ (1, (q + cin) - n, n - (q + cin), n - 1) ] else [])
+
+(* All carry configurations of one iterator's chain for distance [dx].
+   Each configuration is the exact per-digit delta (with its realizing
+   value interval) for source points whose shifted image stays inside the
+   iterator's extent: the final carry/borrow must be 0, because an
+   overflowing pair leaves the domain and is vacuously ordered. *)
+let iter_configs chain ~dx =
+  let negative = dx < 0 in
+  let a = abs dx in
+  let qs = List.map (fun ((r : dref), w) -> (r, a / w mod r.r_extent)) chain in
+  let rec go cin = function
+    | [] -> if cin = 0 then [ [] ] else []
+    | (r, q) :: rest ->
+        List.concat_map
+          (fun (cout, delta, vlo, vhi) ->
+            List.map (fun tail -> (r, delta, vlo, vhi) :: tail) (go cout rest))
+          (digit_cases ~negative ~extent:r.r_extent ~q ~cin)
+  in
+  go 0 qs
+
+(* Guard against pathological blowup; real schedules have 2-4 digits per
+   iterator and dependences move 1-2 iterators, well under this. *)
+let max_configs = 4096
+
+let rec product = function
+  | [] -> [ [] ]
+  | cs :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun tail -> c :: tail) tails) cs
+
+let check_dep (t : Poly.t) (dep : Poly_legality.dependence) =
+  let refs = digit_refs t in
+  let label = dep.Poly_legality.dep_label in
+  try
+    (* Restrict the distance vector to domain iterators with a nonzero
+       move; the sampling oracle ignores unknown names the same way. *)
+    let moved =
+      List.filter_map
+        (fun (name, _) ->
+          match List.assoc_opt name dep.Poly_legality.distance with
+          | Some d when d <> 0 -> Some (name, d)
+          | _ -> None)
+        t.Poly.domain
+    in
+    if moved = [] then
+      Illegal
+        [ Diagnostic.error ~dep:label ~code:"zero-distance"
+            "distance vector is zero on this domain: no schedule can order a point \
+             strictly after itself" ]
+    else if List.exists (fun (name, d) -> abs d >= Poly.iter_extent t name) moved then
+      (* The shift always leaves the domain: no dependent pair exists. *)
+      Legal
+    else begin
+      let chains = List.map (fun (name, d) -> (name, d, chain_of refs t name)) moved in
+      let moved_names = List.map (fun (n, _, _) -> n) chains in
+      let per_iter = List.map (fun (_, d, chain) -> iter_configs chain ~dx:d) chains in
+      let total = List.fold_left (fun acc l -> acc * List.length l) 1 per_iter in
+      if total > max_configs then
+        unsupported "dependence %s: %d carry configurations exceed the analyzer's bound"
+          label total;
+      (* Join one combined carry configuration into per-digit deltas; [None]
+         when infeasible (a shared group digit cannot satisfy both of its
+         iterators' chains at once, so no such point pair is enumerated). *)
+      let eval_config config =
+        let tbl = Hashtbl.create 16 in
+        let feasible = ref true in
+        List.iter
+          (List.iter (fun ((r : dref), delta, vlo, vhi) ->
+               if !feasible then
+                 match Hashtbl.find_opt tbl r.r_id with
+                 | None ->
+                     (* A contributor outside the moved set keeps its share of
+                        the digit fixed, pinning the digit's delta to 0. *)
+                     let pinned =
+                       List.exists
+                         (fun (c : Poly.contrib) -> not (List.mem c.Poly.src moved_names))
+                         r.r_contribs
+                     in
+                     if pinned && delta <> 0 then feasible := false
+                     else Hashtbl.add tbl r.r_id (r, delta, vlo, vhi)
+                 | Some (_, delta', vlo', vhi') ->
+                     let lo = max vlo vlo' and hi = min vhi vhi' in
+                     if delta <> delta' || lo > hi then feasible := false
+                     else Hashtbl.replace tbl r.r_id (r, delta, lo, hi)))
+          config;
+        if not !feasible then None
+        else begin
+          let dt = Array.make (Poly.loop_count t) 0 in
+          Hashtbl.iter
+            (fun _ ((r : dref), delta, _, _) ->
+              dt.(r.r_loop) <- dt.(r.r_loop) + (delta * r.r_radix))
+            tbl;
+          Some dt
+        end
+      in
+      let names = Poly.loop_names t in
+      let dir_string dt =
+        String.concat ","
+          (Array.to_list
+             (Array.map (fun d -> if d > 0 then "<" else if d = 0 then "=" else ">") dt))
+      in
+      let diags = ref [] in
+      List.iter
+        (fun config ->
+          match eval_config config with
+          | None -> ()
+          | Some dt -> (
+              let rec first i =
+                if i = Array.length dt then None
+                else if dt.(i) <> 0 then Some i
+                else first (i + 1)
+              in
+              match first 0 with
+              | Some i when dt.(i) > 0 -> ()
+              | Some i ->
+                  diags :=
+                    Diagnostic.error ~loop:i ~dep:label ~code:"dependence-violation"
+                      "dependence '%s' is reversed at schedule dimension %d (loop %s): \
+                       direction vector (%s)"
+                      label i names.(i) (dir_string dt)
+                    :: !diags
+              | None ->
+                  diags :=
+                    Diagnostic.error ~dep:label ~code:"time-equal"
+                      "dependence '%s' maps dependent points to the same time vector"
+                      label
+                    :: !diags))
+        (product per_iter);
+      match List.sort_uniq compare (List.rev !diags) with
+      | [] -> Legal
+      | ds -> Illegal ds
+    end
+  with Unsupported msg -> Unknown msg
+
+let check t deps =
+  let illegal = ref [] in
+  let unknown = ref None in
+  List.iter
+    (fun dep ->
+      match check_dep t dep with
+      | Legal -> ()
+      | Illegal ds -> illegal := !illegal @ ds
+      | Unknown m -> if !unknown = None then unknown := Some m)
+    deps;
+  if !illegal <> [] then Illegal !illegal
+  else match !unknown with Some m -> Unknown m | None -> Legal
+
+let to_bool = function
+  | Legal -> Some true
+  | Illegal _ -> Some false
+  | Unknown _ -> None
+
+let agrees verdict oracle =
+  match to_bool verdict with None -> true | Some b -> b = oracle
+
+let pp ppf = function
+  | Legal -> Format.pp_print_string ppf "legal"
+  | Unknown m -> Format.fprintf ppf "unknown (%s)" m
+  | Illegal ds ->
+      Format.fprintf ppf "@[<v>illegal:@,%a@]" Diagnostic.pp_list ds

@@ -1,0 +1,52 @@
+(** Static dependence-direction legality of schedules.
+
+    This is the analytical counterpart of the sampling oracle in
+    {!Poly_legality}: instead of executing the schedule at (a stratified
+    sample of) domain points, it reasons symbolically about how a constant
+    distance vector moves through the schedule's mixed-radix digits.
+
+    For every iterator the schedule's digits form a positional number
+    system (weight 1 at the bottom, each weight the previous radix step —
+    the invariant all [Poly] transformations maintain).  Adding a constant
+    distance to an iterator then decomposes into per-digit quotients plus
+    a carry/borrow chain, and each feasible carry assignment yields an
+    {e exact} per-loop time delta — a classical dependence direction
+    vector.  A dependence is preserved iff every feasible direction vector
+    is lexicographically positive.  Shared group digits are joined across
+    their contributing iterators (agreeing deltas, intersecting value
+    intervals); an inconsistent join means the shifted point is not
+    enumerated and the pair is vacuously ordered, which is exactly the
+    behaviour of {!Poly_legality.encode} returning [None].
+
+    The analysis is exact — [Legal]/[Illegal], never a guess — for every
+    schedule whose digit chains are canonical, and answers [Unknown] (fall
+    back to the sampling oracle) otherwise.  The differential sanitizer
+    ({!Sanitizer}) cross-checks the two implementations continuously. *)
+
+type verdict =
+  | Legal  (** every dependence is preserved under the schedule *)
+  | Illegal of Diagnostic.t list
+      (** at least one dependence is reversed; the diagnostics name the
+          dependence, the schedule dimension and the direction vector *)
+  | Unknown of string
+      (** outside the analyzer's theory (reason attached): the caller must
+          fall back to {!Poly_legality.check} *)
+
+val check_dep : Poly.t -> Poly_legality.dependence -> verdict
+(** Verdict for a single dependence. *)
+
+val check : Poly.t -> Poly_legality.dependence list -> verdict
+(** Verdict for a dependence set: [Illegal] dominates (a definite
+    violation stands regardless of other dependences), then [Unknown],
+    then [Legal]. *)
+
+val to_bool : verdict -> bool option
+(** [Some legal?] for decisive verdicts, [None] for [Unknown]. *)
+
+val agrees : verdict -> bool -> bool
+(** Whether a verdict is consistent with the sampling oracle's boolean
+    answer ([Unknown] is consistent with anything) — the differential
+    sanitizer's acceptance predicate. *)
+
+val pp : Format.formatter -> verdict -> unit
+(** Human-readable verdict, with diagnostics when illegal. *)

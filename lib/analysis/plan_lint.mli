@@ -1,0 +1,46 @@
+(** A small plan language and linter for schedule transformations.
+
+    A plan is a [;]-separated list of transformation steps, e.g.
+    ["split@1:2;interchange@1,2;unroll@5:4"], applied left to right to a
+    baseline schedule.  The linter walks the plan step by step against
+    the evolving schedule and reports the diagnostic taxonomy of the
+    issue: [Error] findings ([bad-dimension], [indivisible-tile],
+    [degenerate-groups], [indivisible-channel], [indivisible-extent],
+    [depthwise-mismatch], [illegal-transformation]) predict that the
+    transformation is rejected outright; [Warn] findings ([no-op],
+    [unroll-overflow]) flag steps that apply but achieve nothing. *)
+
+type step =
+  | Interchange of int * int  (** [interchange@I,J] — swap dimensions *)
+  | Reorder of int list  (** [reorder@P0,P1,...] — permute dimensions *)
+  | Split of int * int  (** [split@POS:FACTOR] — strip-mine in place *)
+  | Tile of int * int  (** [tile@POS:FACTOR] — split and sink innermost *)
+  | Fuse of int  (** [fuse@POS] — fuse with the next dimension *)
+  | Unroll of int * int  (** [unroll@POS:FACTOR] *)
+  | Vectorize of int  (** [vectorize@POS] *)
+  | Parallelize of int  (** [parallelize@POS] *)
+  | Group of int  (** [group@FACTOR] — neural grouping of co/ci *)
+  | Bottleneck of string * int  (** [bottleneck@ITER:FACTOR] *)
+  | Depthwise  (** [depthwise] — full grouping of co/ci *)
+
+val of_string : string -> (step list, string) result
+(** Parse a [;]-separated plan; the error names the offending step. *)
+
+val to_string : step -> string
+(** Render one step back to plan syntax. *)
+
+val plan_to_string : step list -> string
+(** Render a whole plan back to plan syntax. *)
+
+val apply : Poly.t -> step -> Poly.t
+(** Apply one step to a schedule.  Raises {!Poly.Illegal} exactly as the
+    underlying transformation does. *)
+
+val lint_step : Poly.t -> step -> Diagnostic.t list
+(** Findings for one step against the current schedule, computed before
+    application: errors predict {!apply} would reject it. *)
+
+val lint : Poly.t -> step list -> Poly.t option * Diagnostic.t list
+(** Walk a plan, applying each clean step and collecting findings.  Stops
+    at the first error (further steps would lint against a schedule that
+    cannot exist); returns the final schedule when every step applied. *)

@@ -1,0 +1,173 @@
+type case = {
+  cs_index : int;
+  cs_plan : string;
+  cs_deps : string;
+  cs_static : Direction.verdict;
+  cs_oracle : bool;
+}
+
+type report = {
+  rs_total : int;
+  rs_agree_legal : int;
+  rs_agree_illegal : int;
+  rs_unknown : int;
+  rs_disagreements : case list;
+  rs_static_time : float;
+  rs_oracle_time : float;
+}
+
+let unknown_rate r =
+  if r.rs_total = 0 then 0.0 else float_of_int r.rs_unknown /. float_of_int r.rs_total
+
+let passed ?(max_unknown_rate = 0.2) r =
+  r.rs_disagreements = [] && unknown_rate r < max_unknown_rate
+
+(* Divisor-friendly extents keep most random factors applicable, so the
+   corpus exercises deep transformation chains rather than dying on the
+   first indivisible split. *)
+let random_nest rng =
+  let ch = [| 4; 8; 16 |] and sp = [| 4; 6; 8 |] and k = [| 1; 3 |] in
+  Loop_nest.conv_nest_of_dims ~co:(Rng.choice rng ch) ~ci:(Rng.choice rng ch)
+    ~oh:(Rng.choice rng sp) ~ow:(Rng.choice rng sp) ~k:(Rng.choice rng k) ~stride:1
+    ~groups:1
+  |> fun n -> { n with Loop_nest.nc_ow = n.Loop_nest.nc_oh }
+
+let divisors n = List.filter (fun d -> n mod d = 0) [ 2; 3; 4; 8 ]
+
+(* One random transformation applicable to the current schedule, [None]
+   when the dice land on something inapplicable (caller just retries). *)
+let random_step rng (s : Poly.t) =
+  let n = Poly.loop_count s in
+  let pos () = Rng.int rng n in
+  match Rng.int rng 8 with
+  | 0 ->
+      let i = pos () and j = pos () in
+      if i = j then None else Some (Plan_lint.Interchange (i, j))
+  | 1 -> Some (Plan_lint.Reorder (Array.to_list (Rng.permutation rng n)))
+  | 2 | 3 -> (
+      let p = pos () in
+      let e = Poly.loop_extent (List.nth s.Poly.loops p) in
+      match divisors e with
+      | [] -> None
+      | ds ->
+          let f = Rng.choice_list rng ds in
+          Some (if Rng.bool rng then Plan_lint.Split (p, f) else Plan_lint.Tile (p, f)))
+  | 4 ->
+      let p = pos () in
+      Some (Plan_lint.Unroll (p, Rng.choice rng [| 2; 4 |]))
+  | 5 -> (
+      let eco = Poly.iter_extent s "co" and eci = Poly.iter_extent s "ci" in
+      match List.filter (fun d -> eci mod d = 0) (divisors eco) with
+      | [] -> None
+      | ds -> Some (Plan_lint.Group (Rng.choice_list rng ds)))
+  | 6 -> (
+      let it = Rng.choice rng [| "co"; "ci"; "oh" |] in
+      match divisors (Poly.iter_extent s it) with
+      | [] -> None
+      | ds -> Some (Plan_lint.Bottleneck (it, Rng.choice_list rng ds)))
+  | _ ->
+      if Poly.iter_extent s "co" = Poly.iter_extent s "ci" then
+        Some Plan_lint.Depthwise
+      else None
+
+let random_plan rng s =
+  let steps = 1 + Rng.int rng 4 in
+  let rec build s acc tries remaining =
+    if remaining = 0 || tries > 20 then (s, List.rev acc)
+    else
+      match random_step rng s with
+      | None -> build s acc (tries + 1) remaining
+      | Some step -> (
+          match Plan_lint.apply s step with
+          | s' -> build s' (step :: acc) tries (remaining - 1)
+          | exception Poly.Illegal _ -> build s acc (tries + 1) remaining)
+  in
+  build s [] 0 steps
+
+(* Dependence sets mix the convolution's real accumulation constraints
+   with adversarial distances (stencil-like mixed signs, occasional zero
+   vectors) to probe both verdict polarities. *)
+let random_deps rng =
+  let reductions =
+    List.filter (fun _ -> Rng.bool rng) [ "ci"; "kh"; "kw" ]
+    |> Poly_legality.reduction_dependences
+  in
+  let adversarial =
+    if Rng.int rng 3 = 0 then
+      let iters = Rng.sample rng (1 + Rng.int rng 2) [| "co"; "ci"; "oh"; "ow" |] in
+      [ { Poly_legality.distance =
+            Array.to_list (Array.map (fun it -> (it, Rng.int rng 5 - 2)) iters);
+          dep_label = "fuzz" } ]
+    else []
+  in
+  match reductions @ adversarial with
+  | [] -> Poly_legality.reduction_dependences [ "ci" ]
+  | deps -> deps
+
+let run ?max_points ~seed ~n () =
+  let rng = Rng.create seed in
+  let static_time = ref 0.0 and oracle_time = ref 0.0 in
+  let agree_legal = ref 0 and agree_illegal = ref 0 and unknown = ref 0 in
+  let disagreements = ref [] in
+  for i = 0 to n - 1 do
+    let case_rng = Rng.split rng in
+    let nest = random_nest case_rng in
+    let base = Loop_nest.baseline_schedule nest in
+    let s, steps = random_plan case_rng base in
+    let deps = random_deps case_rng in
+    let t0 = Sys.time () in
+    let static = Direction.check s deps in
+    let t1 = Sys.time () in
+    let oracle =
+      match max_points with
+      | Some m -> Poly_legality.check ~max_points:m s deps
+      | None -> Poly_legality.check s deps
+    in
+    let t2 = Sys.time () in
+    static_time := !static_time +. (t1 -. t0);
+    oracle_time := !oracle_time +. (t2 -. t1);
+    (match Direction.to_bool static with
+    | None -> incr unknown
+    | Some b when b = oracle -> if b then incr agree_legal else incr agree_illegal
+    | Some _ ->
+        let deps_str =
+          String.concat " + "
+            (List.map
+               (fun (d : Poly_legality.dependence) ->
+                 d.Poly_legality.dep_label ^ ":"
+                 ^ String.concat ","
+                     (List.map
+                        (fun (it, v) -> Printf.sprintf "%s%+d" it v)
+                        d.Poly_legality.distance))
+               deps)
+        in
+        disagreements :=
+          { cs_index = i;
+            cs_plan = Plan_lint.plan_to_string steps;
+            cs_deps = deps_str;
+            cs_static = static;
+            cs_oracle = oracle }
+          :: !disagreements)
+  done;
+  { rs_total = n;
+    rs_agree_legal = !agree_legal;
+    rs_agree_illegal = !agree_illegal;
+    rs_unknown = !unknown;
+    rs_disagreements = List.rev !disagreements;
+    rs_static_time = !static_time;
+    rs_oracle_time = !oracle_time }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>sanitizer: %d plans · %d agree-legal · %d agree-illegal · %d unknown \
+     (%.1f%%) · %d disagreements@,static %.3fs vs oracle %.3fs (%.1fx)@]"
+    r.rs_total r.rs_agree_legal r.rs_agree_illegal r.rs_unknown
+    (100.0 *. unknown_rate r)
+    (List.length r.rs_disagreements)
+    r.rs_static_time r.rs_oracle_time
+    (if r.rs_static_time > 0.0 then r.rs_oracle_time /. r.rs_static_time else 0.0);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,DISAGREEMENT #%d plan=[%s] deps=[%s] oracle=%b static=%a"
+        c.cs_index c.cs_plan c.cs_deps c.cs_oracle Direction.pp c.cs_static)
+    r.rs_disagreements

@@ -1,0 +1,40 @@
+(** Differential sanitizer: static analyzer vs. the sampling oracle.
+
+    Fuzzes seeded random transformation plans over random convolution
+    nests and checks that {!Direction.check} agrees with
+    {!Poly_legality.check} whenever the static verdict is decisive.  The
+    contract gating CI ({!passed}): zero disagreements and an [Unknown]
+    rate below 20%.  A disagreement means one of the two independent
+    legality implementations is wrong — the report carries the exact plan
+    and dependence set to replay it. *)
+
+type case = {
+  cs_index : int;  (** corpus position, for replay *)
+  cs_plan : string;  (** the plan, in {!Plan_lint.of_string} syntax *)
+  cs_deps : string;  (** rendered dependence set *)
+  cs_static : Direction.verdict;
+  cs_oracle : bool;
+}
+
+type report = {
+  rs_total : int;
+  rs_agree_legal : int;  (** both verdicts legal *)
+  rs_agree_illegal : int;  (** both verdicts illegal *)
+  rs_unknown : int;  (** static verdict [Unknown], oracle skipped *)
+  rs_disagreements : case list;  (** decisive static verdicts the oracle contradicts *)
+  rs_static_time : float;  (** CPU seconds in the static analyzer *)
+  rs_oracle_time : float;  (** CPU seconds in the sampling oracle *)
+}
+
+val run : ?max_points:int -> seed:int -> n:int -> unit -> report
+(** Fuzz [n] seeded plans; [max_points] is forwarded to the oracle. *)
+
+val unknown_rate : report -> float
+(** Fraction of the corpus the static analyzer declined to decide. *)
+
+val passed : ?max_unknown_rate:float -> report -> bool
+(** The CI gate: no disagreements and [unknown_rate] below the bound
+    (default 0.2). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Summary line plus one replayable line per disagreement. *)

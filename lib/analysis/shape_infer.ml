@@ -1,0 +1,256 @@
+type t = {
+  sh_co : int;
+  sh_ci : int;
+  sh_oh : int;
+  sh_ow : int;
+  sh_kh : int;
+  sh_kw : int;
+  sh_groups : int;
+}
+
+let of_nest (n : Loop_nest.conv_nest) =
+  { sh_co = n.Loop_nest.nc_co;
+    sh_ci = n.Loop_nest.nc_ci;
+    sh_oh = n.Loop_nest.nc_oh;
+    sh_ow = n.Loop_nest.nc_ow;
+    sh_kh = n.Loop_nest.nc_kh;
+    sh_kw = n.Loop_nest.nc_kw;
+    sh_groups = n.Loop_nest.nc_groups }
+
+let extent_of sh = function
+  | "co" -> Some sh.sh_co
+  | "ci" -> Some sh.sh_ci
+  | "oh" -> Some sh.sh_oh
+  | "ow" -> Some sh.sh_ow
+  | "kh" -> Some sh.sh_kh
+  | "kw" -> Some sh.sh_kw
+  | _ -> None
+
+let with_extent sh name e =
+  match name with
+  | "co" -> { sh with sh_co = e }
+  | "ci" -> { sh with sh_ci = e }
+  | "oh" -> { sh with sh_oh = e }
+  | "ow" -> { sh with sh_ow = e }
+  | "kh" -> { sh with sh_kh = e }
+  | "kw" -> { sh with sh_kw = e }
+  | _ -> sh
+
+let apply sh (op : Poly.neural_op) =
+  match op with
+  | Poly.N_bottleneck { iter; factor } -> (
+      if factor <= 1 then
+        Error
+          (Diagnostic.error ~code:"degenerate-factor"
+             "bottleneck factor %d on %s is degenerate (must exceed 1)" factor iter)
+      else
+        match extent_of sh iter with
+        | None ->
+            Error
+              (Diagnostic.error ~code:"unknown-iterator"
+                 "bottleneck names iterator %s, not a convolution dimension" iter)
+        | Some e ->
+            if e mod factor <> 0 then
+              Error
+                (Diagnostic.error ~code:"indivisible-extent"
+                   "bottleneck factor %d does not divide the %s extent %d" factor iter e)
+            else
+              let e' = e / factor in
+              if (iter = "co" || iter = "ci") && e' mod sh.sh_groups <> 0 then
+                Error
+                  (Diagnostic.error ~code:"group-divisibility"
+                     "bottlenecked %s extent %d is no longer divisible by the group \
+                      count %d"
+                     iter e' sh.sh_groups)
+              else Ok (with_extent sh iter e'))
+  | Poly.N_group { factor } ->
+      if factor <= 1 then
+        Error
+          (Diagnostic.error ~code:"degenerate-groups"
+             "group count %d is degenerate (must exceed 1)" factor)
+      else if sh.sh_co mod factor <> 0 then
+        Error
+          (Diagnostic.error ~code:"indivisible-channel"
+             "group count %d does not divide the output channels %d" factor sh.sh_co)
+      else if sh.sh_ci mod factor <> 0 then
+        Error
+          (Diagnostic.error ~code:"indivisible-channel"
+             "group count %d does not divide the input channels %d" factor sh.sh_ci)
+      else Ok { sh with sh_groups = sh.sh_groups * factor }
+  | Poly.N_depthwise { factor } ->
+      if sh.sh_co <> sh.sh_ci then
+        Error
+          (Diagnostic.error ~code:"depthwise-mismatch"
+             "depthwise requires equal channel extents, got co=%d ci=%d" sh.sh_co
+             sh.sh_ci)
+      else if factor <> sh.sh_co then
+        Error
+          (Diagnostic.error ~code:"depthwise-mismatch"
+             "depthwise factor %d differs from the channel extent %d" factor sh.sh_co)
+      else Ok { sh with sh_groups = sh.sh_groups * factor }
+
+let of_log nest ops =
+  List.fold_left
+    (fun (sh, diags) op ->
+      match apply sh op with Ok sh' -> (sh', diags) | Error d -> (sh, diags @ [ d ]))
+    (of_nest nest, [])
+    ops
+
+let check_schedule nest (s : Poly.t) =
+  let sh, diags = of_log nest s.Poly.neural_log in
+  let drift =
+    List.filter_map
+      (fun (name, e) ->
+        match extent_of sh name with
+        | Some e' when e' <> e && diags = [] ->
+            Some
+              (Diagnostic.error ~code:"shape-drift"
+                 "inferred %s extent %d disagrees with the schedule's domain extent %d"
+                 name e' e)
+        | _ -> None)
+      s.Poly.domain
+  in
+  diags @ drift
+
+(* Maximum of [((v / div) mod m) * mul] over [v] in [0, extent-1]: division
+   by [div] reaches [(extent-1)/div], then the modulus caps at [m-1].  This
+   is tight for the digit-positional indices {!Loop_nest.build_index}
+   produces, because the divisor range always covers a whole number of
+   modulus periods or stays below one. *)
+let term_max loops (t : Loop_nest.term) =
+  let extent = loops.(t.Loop_nest.t_loop).Loop_nest.ll_extent in
+  let reach = (extent - 1) / t.Loop_nest.t_div in
+  let v = if t.Loop_nest.t_mod = 0 then reach else min reach (t.Loop_nest.t_mod - 1) in
+  v * t.Loop_nest.t_mul
+
+let index_max loops (idx : Loop_nest.index) =
+  List.fold_left (fun acc t -> acc + term_max loops t) idx.Loop_nest.i_const
+    idx.Loop_nest.terms
+
+let bounds_check (prog : Loop_nest.program) =
+  let check what idx numel =
+    let hi = index_max prog.Loop_nest.loops idx in
+    if hi >= numel then
+      [ Diagnostic.error ~code:"out-of-range"
+          "%s access reaches flat index %d but the tensor has %d elements" what hi numel ]
+    else []
+  in
+  check "output" prog.Loop_nest.dst prog.Loop_nest.out_numel
+  @ check "weight" prog.Loop_nest.acc_w prog.Loop_nest.w_numel
+  @ check "input" prog.Loop_nest.acc_i prog.Loop_nest.in_numel
+
+(* Mirrors [Conv_impl.valid] conjunct by conjunct: this function returns []
+   exactly when [valid] returns true (asserted by a test), but names the
+   violated condition.  Division guards follow [valid]'s short-circuit
+   order so both functions fail identically on degenerate sites. *)
+let check_impl (site : Conv_impl.site) (impl : Conv_impl.t) =
+  let ci = site.Conv_impl.in_channels and co = site.Conv_impl.out_channels in
+  let g0 = site.Conv_impl.groups in
+  match impl with
+  | Conv_impl.Full -> []
+  | Conv_impl.Grouped g ->
+      if g <= g0 then
+        [ Diagnostic.error ~code:"degenerate-groups"
+            "group count %d does not refine the baseline grouping %d" g g0 ]
+      else
+        (if ci mod g <> 0 then
+           [ Diagnostic.error ~code:"indivisible-channel"
+               "group count %d does not divide the input channels %d" g ci ]
+         else [])
+        @
+        if co mod g <> 0 then
+          [ Diagnostic.error ~code:"indivisible-channel"
+              "group count %d does not divide the output channels %d" g co ]
+        else []
+  | Conv_impl.Bottleneck b ->
+      if b <= 1 then
+        [ Diagnostic.error ~code:"degenerate-factor"
+            "bottleneck factor %d is degenerate (must exceed 1)" b ]
+      else if co mod b <> 0 then
+        [ Diagnostic.error ~code:"indivisible-channel"
+            "bottleneck factor %d does not divide the output channels %d" b co ]
+      else
+        (if co / b mod g0 <> 0 then
+           [ Diagnostic.error ~code:"group-divisibility"
+               "bottleneck width %d is not divisible by the baseline grouping %d"
+               (co / b) g0 ]
+         else [])
+        @
+        if co / b < g0 then
+          [ Diagnostic.error ~code:"group-divisibility"
+              "bottleneck width %d is narrower than the baseline grouping %d" (co / b)
+              g0 ]
+        else []
+  | Conv_impl.Depthwise_separable ->
+      (if site.Conv_impl.kernel <= 1 then
+         [ Diagnostic.error ~code:"pointless-depthwise"
+             "depthwise separation of a %dx%d kernel saves nothing"
+             site.Conv_impl.kernel site.Conv_impl.kernel ]
+       else [])
+      @
+      if g0 <> 1 then
+        [ Diagnostic.error ~code:"degenerate-groups"
+            "depthwise separation requires an ungrouped baseline, got groups=%d" g0 ]
+      else []
+  | Conv_impl.Spatial_bottleneck b ->
+      if b <= 1 then
+        [ Diagnostic.error ~code:"degenerate-factor"
+            "spatial bottleneck factor %d is degenerate (must exceed 1)" b ]
+      else
+        let so = Conv_impl.spatial_out site in
+        (if so mod b <> 0 then
+           [ Diagnostic.error ~code:"indivisible-extent"
+               "spatial bottleneck factor %d does not divide the output plane %d" b so ]
+         else [])
+        @ (if so / b < 1 then
+             [ Diagnostic.error ~code:"indivisible-extent"
+                 "spatial bottleneck factor %d collapses the %d-wide output plane" b so ]
+           else [])
+        @
+        if site.Conv_impl.spatial_in mod (site.Conv_impl.stride * b) <> 0 then
+          [ Diagnostic.error ~code:"indivisible-extent"
+              "combined stride %d does not divide the input plane %d"
+              (site.Conv_impl.stride * b)
+              site.Conv_impl.spatial_in ]
+        else []
+  | Conv_impl.Split_grouped (g1, g2) ->
+      let structural =
+        (if co mod 2 <> 0 then
+           [ Diagnostic.error ~code:"indivisible-channel"
+               "cannot halve the odd output-channel count %d" co ]
+         else [])
+        @ (if g1 < g0 then
+             [ Diagnostic.error ~code:"degenerate-groups"
+                 "first group count %d is below the baseline grouping %d" g1 g0 ]
+           else [])
+        @ (if g2 < g0 then
+             [ Diagnostic.error ~code:"degenerate-groups"
+                 "second group count %d is below the baseline grouping %d" g2 g0 ]
+           else [])
+        @
+        if g1 = g2 then
+          [ Diagnostic.error ~code:"degenerate-groups"
+              "split-grouped halves use the same group count %d (use grouped instead)"
+              g1 ]
+        else []
+      in
+      if structural <> [] then structural
+      else
+        let half = co / 2 in
+        (if ci mod g1 <> 0 then
+           [ Diagnostic.error ~code:"indivisible-channel"
+               "group count %d does not divide the input channels %d" g1 ci ]
+         else [])
+        @ (if ci mod g2 <> 0 then
+             [ Diagnostic.error ~code:"indivisible-channel"
+                 "group count %d does not divide the input channels %d" g2 ci ]
+           else [])
+        @ (if half mod g1 <> 0 then
+             [ Diagnostic.error ~code:"indivisible-channel"
+                 "group count %d does not divide the half-width %d" g1 half ]
+           else [])
+        @
+        if half mod g2 <> 0 then
+          [ Diagnostic.error ~code:"indivisible-channel"
+              "group count %d does not divide the half-width %d" g2 half ]
+        else []

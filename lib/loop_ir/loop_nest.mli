@@ -26,6 +26,8 @@ type conv_nest = {
 val conv_nest_of_dims :
   co:int -> ci:int -> oh:int -> ow:int -> k:int -> stride:int -> groups:int ->
   conv_nest
+(** Build a nest from labelled dimensions ([k] is used for both kernel
+    extents, square output assumed). *)
 
 val domain : conv_nest -> (string * int) list
 (** The canonical iteration domain [co, ci, oh, ow, kh, kw] (for a baseline

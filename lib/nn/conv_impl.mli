@@ -38,9 +38,14 @@ type t =
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val spatial_out : site -> int
+(** Square output feature-map extent ([spatial_in / stride]). *)
+
 val valid : site -> t -> bool
 (** Divisibility and spatial-extent constraints; mirrors the paper's
-    [C mod G = 0] / [C_o mod B = 0] side conditions. *)
+    [C mod G = 0] / [C_o mod B = 0] side conditions.  The static analyzer's
+    [Shape_infer.check_impl] returns the diagnostic form of this predicate;
+    the two are kept equivalent by a test. *)
 
 val macs : site -> t -> int
 (** Multiply-accumulate count of the site under the implementation. *)

@@ -27,9 +27,14 @@ type t =
       (** §5.3: interchange/bottleneck chain over the spatial iterators *)
 
 val name : t -> string
+
 val plan : t -> Site_plan.t
+(** The {!Site_plan.t} realising the sequence: the structural rewrite
+    plus the schedule hints it seeds the autotuner with. *)
 
 val valid : Conv_impl.site -> t -> bool
+(** Whether the sequence's structural rewrite is applicable to the site
+    (delegates to {!Site_plan.valid} on {!plan}). *)
 
 val standard_menu : Conv_impl.site -> t list
 (** Every named sequence, with its standard parameters (§7.3 uses g=2,

@@ -7,6 +7,8 @@ type phase = {
 
 type t = {
   rp_generated : int;
+  rp_static_checked : int;
+  rp_static_rejected : int;
   rp_fisher_rejected : int;
   rp_quarantined : int;
   rp_cost_ranked : int;
@@ -45,6 +47,8 @@ let of_metrics ?(wall_s = 0.0) m =
     List.sort (fun a b -> compare (b.ph_total_s, b.ph_name) (a.ph_total_s, a.ph_name)) phases
   in
   { rp_generated = generated;
+    rp_static_checked = Metrics.counter m "analysis.static_checked";
+    rp_static_rejected = Metrics.counter m "analysis.static_reject";
     rp_fisher_rejected = fisher_rejected;
     rp_quarantined = Metrics.counter m "search.quarantined";
     rp_cost_ranked = Metrics.counter m "search.cost_ranked";
@@ -65,6 +69,10 @@ let pp ppf r =
     "  rejected for free by Fisher: %.1f%%  (paper claims ~%.0f%%)@."
     (100.0 *. r.rp_rejection_fraction)
     (100.0 *. r.rp_paper_fraction);
+  if r.rp_static_checked > 0 then
+    Format.fprintf ppf
+      "  rejection split: %d static (pre-Fisher, of %d checked), %d Fisher@."
+      r.rp_static_rejected r.rp_static_checked r.rp_fisher_rejected;
   if r.rp_phases <> [] then begin
     Format.fprintf ppf "  phase breakdown:@.";
     List.iter
@@ -80,8 +88,9 @@ let pp ppf r =
 let to_json r =
   let b = Buffer.create 512 in
   Printf.bprintf b
-    "{\"generated\":%d,\"fisher_rejected\":%d,\"quarantined\":%d,\"cost_ranked\":%d"
-    r.rp_generated r.rp_fisher_rejected r.rp_quarantined r.rp_cost_ranked;
+    "{\"generated\":%d,\"static_checked\":%d,\"static_rejected\":%d,\"fisher_rejected\":%d,\"quarantined\":%d,\"cost_ranked\":%d"
+    r.rp_generated r.rp_static_checked r.rp_static_rejected r.rp_fisher_rejected
+    r.rp_quarantined r.rp_cost_ranked;
   Printf.bprintf b ",\"rejection_fraction\":%s"
     (Obs_event.json_float r.rp_rejection_fraction);
   Printf.bprintf b ",\"paper_rejection_fraction\":%s"

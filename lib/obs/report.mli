@@ -16,6 +16,11 @@ type phase = {
 
 type t = {
   rp_generated : int;  (** candidates generated (["search.generated"]) *)
+  rp_static_checked : int;
+      (** candidates vetted by the static analyzer (["analysis.static_checked"]) *)
+  rp_static_rejected : int;
+      (** rejected before Fisher by the static analyzer
+          (["analysis.static_reject"]) *)
   rp_fisher_rejected : int;  (** rejected for free by Fisher Potential *)
   rp_quarantined : int;  (** failed and set aside *)
   rp_cost_ranked : int;  (** survivors ranked by the cost model *)

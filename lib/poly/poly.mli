@@ -31,6 +31,7 @@
 type gpu_bind = Block_x | Block_y | Thread_x | Thread_y | Vthread
 
 val gpu_bind_to_string : gpu_bind -> string
+(** CUDA-style spelling of a binding target ("blockIdx.x", "vthread", ...). *)
 
 type contrib = {
   src : string;  (** domain iterator *)
@@ -98,7 +99,11 @@ val tile : t -> pos:int -> factor:int -> t
 (** Split at [pos] and sink the inner loop to the innermost position. *)
 
 val unroll : t -> pos:int -> factor:int -> t
+(** Annotate the loop at [pos] with an unroll factor (the factor must
+    divide its extent). *)
+
 val vectorize : t -> pos:int -> t
+(** Mark the loop at [pos] for SIMD execution. *)
 
 val prefetch : t -> pos:int -> t
 (** Annotates the loop with software prefetching of its streamed operands

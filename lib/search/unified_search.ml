@@ -107,17 +107,34 @@ let generate_pool rng model ~candidates ~mutate_prob =
    [Some cand] = survivor, [None] = Fisher-rejected (a healthy outcome);
    every failure mode raises a structured {!Nas_error.Fail} for the
    caller to quarantine. *)
-let eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans =
+let eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~probe
+    model plans =
   let obs = Eval_ctx.obs ctx in
   if Fault.trip fault ~key:index Fault.Plan_gen then
     Nas_error.fail (Nas_error.Injected_fault "plan generation");
   Obs.with_span obs "legality" (fun () ->
-      Array.iteri
-        (fun i p ->
-          if not (Site_plan.valid model.Models.sites.(i) p) then
+      if static_filter then begin
+        (* Static pre-Fisher filter: [Static_check.candidate] finds the same
+           first-invalid site as the dynamic sweep below (the two predicates
+           are equivalence-tested), so switching the filter on or off never
+           changes the search result — only where illegality is detected.
+           Both counters are per-index integer adds, hence deterministic
+           across worker counts. *)
+        Obs.incr obs "analysis.static_checked";
+        match Static_check.candidate model plans with
+        | Some (i, _diags) ->
+            Obs.incr obs "analysis.static_reject";
             Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
-              p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
-        plans);
+              plans.(i).Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label
+        | None -> ()
+      end
+      else
+        Array.iteri
+          (fun i p ->
+            if not (Site_plan.valid model.Models.sites.(i) p) then
+              Nas_error.invalid_plan "candidate %d: plan %s invalid for %s" index
+                p.Site_plan.sp_name model.Models.sites.(i).Conv_impl.site_label)
+          plans);
   let legal_total =
     Obs.with_span obs "fisher" (fun () ->
         let scores = oracle_scores ctx oracle model probe plans in
@@ -161,11 +178,13 @@ type outcome =
    merge exactly (integer adds) and quarantine notes ride between the
    spans, so the merged trace and the [search.*] counters are identical
    for every worker count. *)
-let eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model index plans =
+let eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe model index
+    plans =
   let obs = Eval_ctx.obs ctx in
   match
     Nas_error.guard (fun () ->
-        eval_candidate ~ctx ~fault ~index ~slack ~oracle ~device ~probe model plans)
+        eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~probe
+          model plans)
   with
   | Ok (Some cand) ->
       Obs.incr obs "search.cost_ranked";
@@ -223,8 +242,9 @@ let snapshot_engine_counters ctx =
     Obs.set obs "engine.faults_injected" (Fault.injected (Eval_ctx.fault ctx))
   end
 
-let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?budget
-    ?checkpoint ?checkpoint_every ?(workers = 1) ?ctx ~rng ~device ~probe model =
+let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
+    ?(static_filter = true) ?fault ?budget ?checkpoint ?checkpoint_every
+    ?(workers = 1) ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
   (* Resolve the context: explicit knob arguments override the context's,
      which override the defaults. *)
@@ -304,7 +324,8 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?bu
         let i = ref first in
         while !i < limit do
           merge_outcome
-            (eval_outcome ~ctx ~fault ~slack ~oracle ~device ~probe model !i pool.(!i));
+            (eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe
+               model !i pool.(!i));
           incr i;
           if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
             save_checkpoint !i
@@ -316,8 +337,8 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12) ?fault ?bu
            merge below reproduces the workers=1 result exactly. *)
         Array.iter merge_outcome
           (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
-               eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack ~oracle
-                 ~device ~probe model i pool.(i))));
+               eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack
+                 ~static_filter ~oracle ~device ~probe model i pool.(i))));
   save_checkpoint (if stopped then limit else n);
   let best_cand =
     Obs.with_span obs "select" (fun () ->

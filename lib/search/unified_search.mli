@@ -50,6 +50,7 @@ val search :
   ?candidates:int ->
   ?mutate_prob:float ->
   ?slack:float ->
+  ?static_filter:bool ->
   ?fault:Fault.t ->
   ?budget:int ->
   ?checkpoint:string ->
@@ -64,6 +65,14 @@ val search :
 (** Runs the search (default 1000 candidates, as in §6).  [probe] is the
     fixed minibatch used for every Fisher evaluation; [slack] is the Fisher
     legality slack.
+
+    [static_filter] (default true) vets each candidate's per-site plans
+    with the static analyzer ([Static_check.candidate]) instead of the
+    dynamic [Site_plan.valid] sweep.  The two predicates are equivalent
+    (asserted by a test), so the search result is bit-identical either
+    way for any [workers] count; the filter adds the deterministic
+    [analysis.static_checked] / [analysis.static_reject] counters that
+    {!Report} surfaces as the static-vs-Fisher rejection split.
 
     [ctx] (default: the process default context) owns the memo caches and
     the default evaluation knobs; an explicit [fault] / [budget] /

@@ -160,6 +160,30 @@ let t_stencil_interchange_illegal () =
   Alcotest.(check bool) "violations reported" true
     (Poly_legality.violations s' dep <> [])
 
+let t_violations_report_point_and_label () =
+  (* The diagnostics carry enough to replay the violation: each entry is a
+     violated domain point plus the label of the broken dependence. *)
+  let s = Poly.split (Poly.of_domain small_domain) ~pos:1 ~factor:3 in
+  let s' = Poly.interchange s 1 2 in
+  let vs = Poly_legality.violations s' reduction in
+  Alcotest.(check bool) "violations found" true (vs <> []);
+  List.iter
+    (fun (point, label) ->
+      Alcotest.(check string) "dependence label" "reduction over ci" label;
+      (* The reported point is a real domain point... *)
+      List.iter
+        (fun (it, v) ->
+          let extent = List.assoc it s'.Poly.domain in
+          Alcotest.(check bool) "coordinate in range" true (0 <= v && v < extent))
+        point;
+      (* ...whose successor along the dependence the schedule runs early:
+         time(p) must not be before time(p + d). *)
+      let shifted = List.map (fun (it, v) -> if it = "ci" then (it, v + 1) else (it, v)) point in
+      match Poly_legality.encode s' point, Poly_legality.encode s' shifted with
+      | Some tp, Some tq -> Alcotest.(check bool) "reversed in time" true (tp >= tq)
+      | _ -> Alcotest.fail "violation endpoints must both be enumerated")
+    vs
+
 let t_encode_inverse_of_decode () =
   let s =
     Poly.tile (Poly.split (Poly.of_domain small_domain) ~pos:1 ~factor:2) ~pos:0 ~factor:2
@@ -290,6 +314,7 @@ let () =
           quick "split legal" t_split_legal;
           quick "tile legal" t_tile_legal;
           quick "stencil interchange illegal" t_stencil_interchange_illegal;
+          quick "violations report point and label" t_violations_report_point_and_label;
           quick "encode inverts decode" t_encode_inverse_of_decode;
           quick "encode rejects cut points" t_encode_rejects_out_of_range;
           quick "encode rejects cross-group" t_encode_rejects_cross_group ] );

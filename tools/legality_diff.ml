@@ -1,0 +1,28 @@
+(* Differential sanitizer CLI: fuzz seeded random plans and fail (exit 1)
+   when the static direction-vector analyzer disagrees with the sampling
+   oracle, or when the static analyzer declines too often to be useful.
+   Wired into CI through the @sanitize alias. *)
+
+let () =
+  let plans = ref 200 and seed = ref 2026 and max_unknown = ref 0.2 in
+  let usage = "legality_diff [--plans N] [--seed S] [--max-unknown R]" in
+  Arg.parse
+    [ ("--plans", Arg.Set_int plans, "N number of fuzzed plans (default 200)");
+      ("--seed", Arg.Set_int seed, "S corpus seed (default 2026)");
+      ( "--max-unknown",
+        Arg.Set_float max_unknown,
+        "R maximum tolerated Unknown rate (default 0.2)" ) ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let report = Sanitizer.run ~seed:!seed ~n:!plans () in
+  Format.printf "%a@." Sanitizer.pp_report report;
+  if Sanitizer.passed ~max_unknown_rate:!max_unknown report then exit 0
+  else begin
+    if report.Sanitizer.rs_disagreements <> [] then
+      Format.eprintf "legality_diff: static analyzer and sampling oracle disagree@."
+    else
+      Format.eprintf "legality_diff: Unknown rate %.1f%% exceeds the %.1f%% bound@."
+        (100.0 *. Sanitizer.unknown_rate report)
+        (100.0 *. !max_unknown);
+    exit 1
+  end
