@@ -207,6 +207,11 @@ let search_cmd =
     else begin
     if plan <> None then die "--plan requires --analyze";
     let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
+    if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
+      die "--fault-rate must be a probability in [0,1] (got %g)" fault_rate;
+    Option.iter (fun b -> if b <= 0 then die "--budget must be positive (got %d)" b) budget;
+    if checkpoint_every <= 0 then
+      die "--checkpoint-every must be positive (got %d)" checkpoint_every;
     let fault =
       if fault_rate <= 0.0 then Fault.none
       else

@@ -68,3 +68,24 @@ let absorb t (s : stats) =
   t.hits <- t.hits + s.cs_hits;
   t.misses <- t.misses + s.cs_misses;
   t.evictions <- t.evictions + s.cs_evictions
+
+let entries t =
+  Queue.fold
+    (fun acc key ->
+      match Hashtbl.find_opt t.table key with
+      | Some v -> (key, v) :: acc
+      | None -> acc)
+    [] t.order
+  |> List.rev
+
+let merge_entries t kvs =
+  List.fold_left
+    (fun inserted (key, v) ->
+      if Hashtbl.mem t.table key then inserted
+      else begin
+        evict_to t t.capacity;
+        Hashtbl.replace t.table key v;
+        Queue.push key t.order;
+        inserted + 1
+      end)
+    0 kvs

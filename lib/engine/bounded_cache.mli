@@ -48,3 +48,15 @@ val absorb : 'a t -> stats -> unit
 (** Fold another cache's hit/miss/eviction counters into this one's (size
     and capacity are untouched) — used to aggregate per-worker cache
     telemetry into the parent context after a parallel evaluation. *)
+
+val entries : 'a t -> (string * 'a) list
+(** Every cached binding in FIFO insertion order (oldest first) — the
+    exportable content of the memo, for cross-session sharing and
+    persistence.  Safe because entries are deterministic functions of
+    their keys. *)
+
+val merge_entries : 'a t -> (string * 'a) list -> int
+(** Insert the bindings whose keys are absent (present keys win — both
+    sides computed the same value), evicting FIFO to stay within
+    capacity; returns the number inserted.  Counters are untouched: a
+    merged entry is neither a hit nor a miss. *)

@@ -67,6 +67,49 @@ let absorb parent worker =
   Fault.add_injected parent.ec_fault (Fault.injected worker.ec_fault);
   Obs.absorb parent.ec_obs worker.ec_obs
 
+let warm_from t ~src =
+  Bounded_cache.merge_entries t.ec_cost_cache (Bounded_cache.entries src.ec_cost_cache)
+  + Bounded_cache.merge_entries t.ec_fisher_cache
+      (Bounded_cache.entries src.ec_fisher_cache)
+
+let absorb_full parent worker =
+  absorb parent worker;
+  ignore (warm_from parent ~src:worker)
+
+(* --- crash-safe cache persistence -------------------------------------- *)
+
+(* The snapshot rides the atomic Checkpoint writer, so a kill mid-save
+   leaves the previous snapshot intact.  [cs_schema] is the compatibility
+   key: it is the first field, so a foreign checkpoint (e.g. a search
+   snapshot, whose first field is also a string) is recognized and refused
+   before any other field is touched. *)
+type cache_snapshot = {
+  cs_schema : string;
+  cs_cost : (string * float) list;
+  cs_fisher : (string * Fisher.scores) list;
+}
+
+let cache_schema = "nas-pte-shared-caches-v1"
+
+let save_caches ~path t =
+  Checkpoint.save ~path
+    { cs_schema = cache_schema;
+      cs_cost = Bounded_cache.entries t.ec_cost_cache;
+      cs_fisher = Bounded_cache.entries t.ec_fisher_cache }
+
+let load_caches ~path t =
+  match Checkpoint.load ~path with
+  | Error e -> Error e
+  | Ok (sn : cache_snapshot) ->
+      if sn.cs_schema <> cache_schema then
+        Error
+          (Nas_error.Checkpoint_error
+             (Printf.sprintf "load %s: foreign cache snapshot" path))
+      else
+        Ok
+          (Bounded_cache.merge_entries t.ec_cost_cache sn.cs_cost
+          + Bounded_cache.merge_entries t.ec_fisher_cache sn.cs_fisher)
+
 let reset t =
   Bounded_cache.clear t.ec_cost_cache;
   Bounded_cache.clear t.ec_fisher_cache;

@@ -68,6 +68,30 @@ val absorb : t -> t -> unit
     parent's, and merges the worker's observability recorder (metrics
     added, trace events appended after the parent's). *)
 
+val warm_from : t -> src:t -> int
+(** Copy [src]'s cached cost and Fisher entries into this context's memos
+    (existing keys win; FIFO eviction applies); returns the number of
+    entries inserted.  Entries are deterministic functions of their keys,
+    so warming a context can only add hits, never change a result — this
+    is how daemon sessions start hot from the shared parent context. *)
+
+val absorb_full : t -> t -> unit
+(** {!absorb} plus {!warm_from}: fold the worker's telemetry {e and} its
+    freshly computed cache entries back into the parent, so the next
+    session forked from the parent reuses them (cross-session cache
+    sharing). *)
+
+val save_caches : path:string -> t -> (unit, Nas_error.t) result
+(** Persist both memo caches through the atomic {!Checkpoint} writer (a
+    kill mid-save leaves the previous snapshot intact).  Failures come
+    back as {!Nas_error.Checkpoint_error}. *)
+
+val load_caches : path:string -> t -> (int, Nas_error.t) result
+(** Merge a snapshot written by {!save_caches} into this context's memos
+    and return the number of entries restored.  A missing, truncated,
+    corrupt or foreign file is a structured {!Nas_error.Checkpoint_error}
+    — the caller logs it and cold-starts; it never crashes. *)
+
 val reset : t -> unit
 (** Clear both memo caches and the autotuner counter. *)
 

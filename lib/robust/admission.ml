@@ -1,0 +1,53 @@
+type t = {
+  ad_max_inflight : int;
+  ad_max_queue : int;
+  mutable ad_inflight : int;
+  mutable ad_queued : int;
+  mutable ad_admitted : int;
+  mutable ad_rejected : int;
+  mutable ad_ewma_s : float;
+}
+
+type decision = Admitted | Rejected of float
+
+let create ?(session_estimate_s = 0.5) ~max_inflight ~max_queue () =
+  { ad_max_inflight = max 1 max_inflight;
+    ad_max_queue = max 0 max_queue;
+    ad_inflight = 0;
+    ad_queued = 0;
+    ad_admitted = 0;
+    ad_rejected = 0;
+    ad_ewma_s = Float.max 1e-3 session_estimate_s }
+
+(* Conservative drain estimate: everyone ahead of (or alongside) this
+   request, at the smoothed session time, spread over the worker slots. *)
+let retry_after t =
+  let outstanding = t.ad_inflight + t.ad_queued in
+  t.ad_ewma_s *. float_of_int (max 1 outstanding)
+  /. float_of_int t.ad_max_inflight
+
+let admit t =
+  if t.ad_inflight + t.ad_queued >= t.ad_max_inflight + t.ad_max_queue then begin
+    t.ad_rejected <- t.ad_rejected + 1;
+    Rejected (retry_after t)
+  end
+  else begin
+    t.ad_admitted <- t.ad_admitted + 1;
+    t.ad_queued <- t.ad_queued + 1;
+    Admitted
+  end
+
+let started t =
+  t.ad_queued <- max 0 (t.ad_queued - 1);
+  t.ad_inflight <- t.ad_inflight + 1
+
+let finished t ~dur_s =
+  t.ad_inflight <- max 0 (t.ad_inflight - 1);
+  if dur_s >= 0.0 then t.ad_ewma_s <- (0.8 *. t.ad_ewma_s) +. (0.2 *. dur_s)
+
+let abandoned t = t.ad_queued <- max 0 (t.ad_queued - 1)
+
+let inflight t = t.ad_inflight
+let queued t = t.ad_queued
+let admitted_total t = t.ad_admitted
+let rejected_total t = t.ad_rejected

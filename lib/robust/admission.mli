@@ -1,0 +1,49 @@
+(** Admission control: bounded in-flight sessions plus a bounded queue.
+
+    The controller tracks how many sessions are running and how many are
+    admitted but waiting; a request arriving when both bounds are full is
+    rejected immediately with a retry-after estimate, which keeps the
+    daemon's latency bounded under overload instead of letting the queue
+    grow without limit.
+
+    The controller is plain mutable state with no lock of its own — the
+    owner (the server) already serializes every call under its mutex. *)
+
+type t
+
+type decision =
+  | Admitted  (** counted into the queue; call {!started} when it runs *)
+  | Rejected of float
+      (** turned away; the payload is the suggested retry-after in seconds *)
+
+val create :
+  ?session_estimate_s:float -> max_inflight:int -> max_queue:int -> unit -> t
+(** A controller allowing [max_inflight] running sessions (clamped to at
+    least 1; normally the worker-pool size) plus [max_queue] waiting ones.
+    [session_estimate_s] (default 0.5) seeds the smoothed session-time
+    estimate behind the retry-after hint until real sessions update it. *)
+
+val admit : t -> decision
+(** Decide one arriving request and update the counters. *)
+
+val started : t -> unit
+(** A queued request began running (queue down, inflight up). *)
+
+val finished : t -> dur_s:float -> unit
+(** A running session ended after [dur_s] seconds (inflight down; the
+    duration updates the retry-after estimate). *)
+
+val abandoned : t -> unit
+(** A queued request was dropped without running (e.g. shutdown drain). *)
+
+val inflight : t -> int
+(** Sessions currently running. *)
+
+val queued : t -> int
+(** Sessions admitted and waiting. *)
+
+val admitted_total : t -> int
+(** Requests admitted since creation. *)
+
+val rejected_total : t -> int
+(** Requests rejected since creation. *)

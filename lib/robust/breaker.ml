@@ -1,0 +1,78 @@
+type state = Closed | Open | Half_open
+
+type entry = {
+  mutable en_state : state;
+  mutable en_failures : int;  (* consecutive failures while Closed *)
+  mutable en_opened_at : float;
+}
+
+type t = {
+  br_clock : Deadline.clock;
+  br_threshold : int;
+  br_cooldown_s : float;
+  br_tbl : (string, entry) Hashtbl.t;
+  mutable br_trips : int;
+}
+
+let create ?(clock = Deadline.monotonic) ?(threshold = 5) ?(cooldown_s = 30.0) () =
+  { br_clock = clock;
+    br_threshold = max 1 threshold;
+    br_cooldown_s = Float.max 0.0 cooldown_s;
+    br_tbl = Hashtbl.create 8;
+    br_trips = 0 }
+
+let entry t key =
+  match Hashtbl.find_opt t.br_tbl key with
+  | Some e -> e
+  | None ->
+      let e = { en_state = Closed; en_failures = 0; en_opened_at = neg_infinity } in
+      Hashtbl.replace t.br_tbl key e;
+      e
+
+let state t ~key =
+  match Hashtbl.find_opt t.br_tbl key with None -> Closed | Some e -> e.en_state
+
+let allow t ~key =
+  let e = entry t key in
+  match e.en_state with
+  | Closed -> true
+  | Half_open -> false (* one probe already outstanding *)
+  | Open ->
+      if t.br_clock () -. e.en_opened_at >= t.br_cooldown_s then begin
+        e.en_state <- Half_open;
+        true (* this caller is the probe *)
+      end
+      else false
+
+let trip t e =
+  e.en_state <- Open;
+  e.en_failures <- 0;
+  e.en_opened_at <- t.br_clock ();
+  t.br_trips <- t.br_trips + 1
+
+let success t ~key =
+  let e = entry t key in
+  e.en_failures <- 0;
+  e.en_state <- Closed
+
+let failure t ~key =
+  let e = entry t key in
+  match e.en_state with
+  | Half_open -> trip t e (* failed probe: straight back to Open *)
+  | Open -> ()
+  | Closed ->
+      e.en_failures <- e.en_failures + 1;
+      if e.en_failures >= t.br_threshold then trip t e
+
+let retry_after_s t ~key =
+  match Hashtbl.find_opt t.br_tbl key with
+  | Some e when e.en_state = Open ->
+      Float.max 0.0 (t.br_cooldown_s -. (t.br_clock () -. e.en_opened_at))
+  | _ -> 0.0
+
+let trips t = t.br_trips
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

@@ -1,0 +1,49 @@
+(** A per-key circuit breaker.
+
+    Each key (the daemon keys on [network|device]) runs the classic
+    three-state machine: [Closed] (requests flow; consecutive failures are
+    counted), [Open] (requests are refused until a cooldown elapses), and
+    [Half_open] (exactly one probe request is let through — its outcome
+    either closes the breaker or re-opens it).  Tripping after repeated
+    failures stops a workload that reliably ends in quarantine storms from
+    monopolizing the session pool.
+
+    Like {!Admission}, the breaker carries no lock of its own: the owning
+    server serializes calls under its mutex. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create :
+  ?clock:Deadline.clock -> ?threshold:int -> ?cooldown_s:float -> unit -> t
+(** A breaker tripping a key after [threshold] (default 5, clamped to at
+    least 1) consecutive failures, refusing it for [cooldown_s] seconds
+    (default 30) before allowing a half-open probe.  [clock] defaults to
+    {!Deadline.monotonic}. *)
+
+val allow : t -> key:string -> bool
+(** Whether a request for [key] may proceed.  In [Open] state this flips
+    the key to [Half_open] and returns true once the cooldown has elapsed
+    — the caller becomes the probe; until then (and while a probe is
+    outstanding) it returns false. *)
+
+val success : t -> key:string -> unit
+(** Report a successful session: resets the failure count and closes the
+    breaker (a half-open probe that succeeds recovers the key). *)
+
+val failure : t -> key:string -> unit
+(** Report a failed session: counts toward the threshold when [Closed],
+    re-opens immediately when [Half_open]. *)
+
+val state : t -> key:string -> state
+(** The key's current state ([Closed] if never seen). *)
+
+val retry_after_s : t -> key:string -> float
+(** Remaining cooldown for an [Open] key; 0 otherwise. *)
+
+val trips : t -> int
+(** Times any key transitioned to [Open]. *)
+
+val state_name : state -> string
+(** Stable label: ["closed"], ["open"] or ["half-open"]. *)

@@ -1,0 +1,36 @@
+type clock = unit -> float
+
+(* [Unix.gettimeofday] can step backwards under clock adjustment; latching
+   the maximum observed reading makes the shared process clock monotone,
+   which is all a deadline needs.  The latch is an [Atomic.t] so watchdog
+   reads from worker domains never tear. *)
+let latch = Atomic.make neg_infinity
+
+let monotonic () =
+  let t = Unix.gettimeofday () in
+  let rec bump () =
+    let prev = Atomic.get latch in
+    if t > prev then if Atomic.compare_and_set latch prev t then t else bump ()
+    else prev
+  in
+  bump ()
+
+type t = {
+  dl_clock : clock;
+  dl_at : float;  (* infinity = never expires *)
+}
+
+let none = { dl_clock = (fun () -> 0.0); dl_at = infinity }
+
+let make ?(clock = monotonic) ~after_s () =
+  { dl_clock = clock; dl_at = clock () +. Float.max 0.0 after_s }
+
+let never t = t.dl_at = infinity
+
+let expired t = (not (never t)) && t.dl_clock () >= t.dl_at
+
+let remaining_s t =
+  if never t then infinity else Float.max 0.0 (t.dl_at -. t.dl_clock ())
+
+let guard t ~label =
+  if expired t then Nas_error.fail (Nas_error.Timed_out label)

@@ -1,0 +1,39 @@
+(** Monotonic-clock deadlines.
+
+    A deadline is an absolute expiry instant on an injectable clock.  The
+    default {!monotonic} clock is the wall clock latched to never run
+    backwards, shared across domains, so a watchdog polling [expired] from
+    a worker can cancel work started on another domain.  Expiry is
+    cooperative: long-running loops poll {!expired} (or install it as a
+    search [?stop] hook) between units of work and degrade to their
+    best-so-far result. *)
+
+type clock = unit -> float
+(** Seconds on some monotone axis; only differences are meaningful. *)
+
+val monotonic : clock
+(** The process-wide monotone clock: wall time latched to its maximum
+    observed reading, safe to share across domains. *)
+
+type t
+(** An immutable deadline. *)
+
+val none : t
+(** The deadline that never expires. *)
+
+val make : ?clock:clock -> after_s:float -> unit -> t
+(** A deadline [after_s] seconds (clamped to at least 0) from now on
+    [clock] (default {!monotonic}). *)
+
+val never : t -> bool
+(** Whether this is {!none} (or any never-expiring deadline). *)
+
+val expired : t -> bool
+(** Whether the expiry instant has been reached. *)
+
+val remaining_s : t -> float
+(** Seconds until expiry: 0 once expired, [infinity] for {!none}. *)
+
+val guard : t -> label:string -> unit
+(** Raise {!Nas_error.Fail}[ (Timed_out label)] if the deadline has
+    expired; a no-op otherwise. *)

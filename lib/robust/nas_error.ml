@@ -7,6 +7,8 @@ type t =
   | Budget_exceeded of string
   | Injected_fault of string
   | Checkpoint_error of string
+  | Io_error of string
+  | Timed_out of string
   | Eval_failure of string
 
 exception Fail of t
@@ -28,6 +30,8 @@ let class_name = function
   | Budget_exceeded _ -> "budget-exceeded"
   | Injected_fault _ -> "injected-fault"
   | Checkpoint_error _ -> "checkpoint-error"
+  | Io_error _ -> "io-error"
+  | Timed_out _ -> "timed-out"
   | Eval_failure _ -> "eval-failure"
 
 let to_string = function
@@ -37,18 +41,33 @@ let to_string = function
   | Budget_exceeded m -> "budget exceeded: " ^ m
   | Injected_fault m -> "injected fault: " ^ m
   | Checkpoint_error m -> "checkpoint error: " ^ m
+  | Io_error m -> "I/O error: " ^ m
+  | Timed_out m -> "timed out: " ^ m
   | Eval_failure m -> "evaluation failure: " ^ m
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
 let of_exn = function
   | Fail e -> Some e
+  | Unix.Unix_error (ue, fn, arg) ->
+      let what = if arg = "" then fn else fn ^ " " ^ arg in
+      Some (Io_error (what ^ ": " ^ Unix.error_message ue))
+  | Sys_error m -> Some (Io_error m)
   | Invalid_argument m -> Some (Eval_failure ("invalid argument: " ^ m))
   | Failure m -> Some (Eval_failure m)
   | Division_by_zero -> Some (Eval_failure "division by zero")
   | Assert_failure (file, line, _) ->
       Some (Eval_failure (Printf.sprintf "assertion at %s:%d" file line))
   | _ -> None
+
+(* Worth retrying with backoff: failures of the environment, not of the
+   candidate or the request.  A timed-out session must NOT be transient —
+   its deadline has already passed, retrying can only waste the pool. *)
+let transient = function
+  | Io_error _ | Injected_fault _ | Checkpoint_error _ -> true
+  | Invalid_plan _ | Shape_mismatch _ | Non_finite _ | Budget_exceeded _
+  | Timed_out _ | Eval_failure _ ->
+      false
 
 let guard f =
   try Ok (f ())

@@ -18,6 +18,8 @@ type t =
   | Budget_exceeded of string  (** the supervisor's work budget ran out *)
   | Injected_fault of string  (** a deliberate test-harness fault *)
   | Checkpoint_error of string  (** checkpoint serialization / IO failure *)
+  | Io_error of string  (** an operating-system I/O failure (e.g. [Unix_error]) *)
+  | Timed_out of string  (** a deadline expired before the work finished *)
   | Eval_failure of string  (** anything else recoverable *)
 
 exception Fail of t
@@ -46,11 +48,20 @@ val pp : Format.formatter -> t -> unit
 (** Formatter version of {!to_string}. *)
 
 val of_exn : exn -> t option
-(** Classify an exception: structured errors pass through, the legacy
-    stdlib escapes ([Invalid_argument], [Failure], [Division_by_zero],
-    [Assert_failure]) are mapped into the taxonomy, anything else (e.g.
-    [Out_of_memory], [Stack_overflow]) returns [None] and should keep
-    propagating. *)
+(** Classify an exception: structured errors pass through, operating-system
+    failures ([Unix.Unix_error], [Sys_error]) become {!Io_error}, the
+    legacy stdlib escapes ([Invalid_argument], [Failure],
+    [Division_by_zero], [Assert_failure]) are mapped into the taxonomy,
+    anything else (e.g. [Out_of_memory], [Stack_overflow]) returns [None]
+    and should keep propagating.  Classifying I/O failures is what lets a
+    daemon quarantine one session instead of dying with it. *)
+
+val transient : t -> bool
+(** Whether a retry with backoff has a chance of succeeding: true for
+    environmental failures ({!Io_error}, {!Injected_fault},
+    {!Checkpoint_error}), false for deterministic candidate/request
+    failures — and false for {!Timed_out}, whose deadline has already
+    passed. *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** [guard f] runs [f], catching every exception {!of_exn} can classify.

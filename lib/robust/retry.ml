@@ -1,0 +1,53 @@
+type policy = {
+  rp_max_attempts : int;
+  rp_base_delay_s : float;
+  rp_multiplier : float;
+  rp_max_delay_s : float;
+  rp_jitter : float;
+}
+
+let default =
+  { rp_max_attempts = 3;
+    rp_base_delay_s = 0.05;
+    rp_multiplier = 2.0;
+    rp_max_delay_s = 2.0;
+    rp_jitter = 0.5 }
+
+let no_retry = { default with rp_max_attempts = 1 }
+
+let delay_s p ~seed ~attempt =
+  let attempt = max 0 attempt in
+  let raw = p.rp_base_delay_s *. (p.rp_multiplier ** float_of_int attempt) in
+  let capped = Float.min p.rp_max_delay_s raw in
+  if p.rp_jitter <= 0.0 then capped
+  else
+    (* One throwaway generator per (seed, attempt): the jitter draw is a
+       pure function of the pair, so a replayed request backs off through
+       the identical delays — retries stay as reproducible as the faults
+       that trigger them. *)
+    let rng = Rng.create (seed + (attempt * 0x9E3779B1)) in
+    capped *. (1.0 -. (p.rp_jitter *. Rng.uniform rng))
+
+let run ?(policy = default) ?(retryable = Nas_error.transient)
+    ?(sleep = Unix.sleepf) ?(deadline = Deadline.none) ?on_retry ~seed f =
+  let max_attempts = max 1 policy.rp_max_attempts in
+  let rec go attempt =
+    match Nas_error.guard (fun () -> f ~attempt) with
+    | Ok v -> (Ok v, attempt)
+    | Error e ->
+        let last = attempt >= max_attempts - 1 in
+        if last || (not (retryable e)) || Deadline.expired deadline then
+          (Error e, attempt)
+        else begin
+          let d = delay_s policy ~seed ~attempt in
+          (* Never sleep past the deadline: a backoff that would expire it
+             anyway is cut short so the caller degrades promptly. *)
+          let d = Float.min d (Deadline.remaining_s deadline) in
+          (match on_retry with
+          | Some k -> k ~attempt ~delay_s:d e
+          | None -> ());
+          if d > 0.0 then sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 0

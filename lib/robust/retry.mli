@@ -1,0 +1,46 @@
+(** Retry with exponential backoff and deterministic jitter.
+
+    The daemon's answer to transient failures: an attempt that raises a
+    {!Nas_error.transient} error is retried after a capped exponential
+    delay, jittered by a draw that is a pure function of (seed, attempt) —
+    so a replayed request backs off through the identical schedule, and a
+    fleet of concurrent sessions with distinct seeds de-synchronizes
+    instead of thundering back together. *)
+
+type policy = {
+  rp_max_attempts : int;  (** total attempts, clamped to at least 1 *)
+  rp_base_delay_s : float;  (** delay after the first failure *)
+  rp_multiplier : float;  (** per-attempt growth factor *)
+  rp_max_delay_s : float;  (** delay cap *)
+  rp_jitter : float;
+      (** fraction of the delay randomized away, in [0,1]: the slept delay
+          is uniform in [(1-jitter)*d, d] *)
+}
+
+val default : policy
+(** 3 attempts, 50ms base, doubling, 2s cap, 0.5 jitter. *)
+
+val no_retry : policy
+(** A single attempt — retries disabled. *)
+
+val delay_s : policy -> seed:int -> attempt:int -> float
+(** The (jittered) backoff slept after failed attempt number [attempt]
+    (0-based).  Deterministic in (policy, seed, attempt). *)
+
+val run :
+  ?policy:policy ->
+  ?retryable:(Nas_error.t -> bool) ->
+  ?sleep:(float -> unit) ->
+  ?deadline:Deadline.t ->
+  ?on_retry:(attempt:int -> delay_s:float -> Nas_error.t -> unit) ->
+  seed:int ->
+  (attempt:int -> 'a) ->
+  ('a, Nas_error.t) result * int
+(** [run ~seed f] calls [f ~attempt:0]; on a classified failure that
+    [retryable] accepts (default {!Nas_error.transient}) it sleeps the
+    jittered backoff and tries again, up to [policy.rp_max_attempts] total
+    attempts.  Retries stop early once [deadline] expires, and a backoff
+    is clipped to the deadline's remaining time.  [on_retry] observes each
+    retry decision (for telemetry).  Returns the final outcome paired with
+    the index of the last attempt made — i.e. the number of retries used.
+    Unclassifiable exceptions propagate, as in {!Nas_error.guard}. *)

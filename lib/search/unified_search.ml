@@ -164,14 +164,17 @@ let eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~pro
               cd_macs = ev.ev_macs;
               cd_params = ev.ev_params })
 
-(* The three ways one candidate evaluation can end.  Outcomes are pure
+(* The ways one candidate evaluation can end.  The first three are pure
    per-index values, so replaying them in index order merges to the same
    incumbent / rejection count / quarantine set no matter how many worker
-   domains produced them. *)
+   domains produced them.  [O_skipped] only appears when a [?stop] hook
+   fired — a stopped run returns its best-so-far and makes no determinism
+   claim beyond that. *)
 type outcome =
   | O_survivor of candidate
   | O_rejected
   | O_failed of string * Nas_error.t
+  | O_skipped
 
 (* Telemetry is recorded on [ctx]'s recorder — the worker's fork in a
    parallel run — right here, next to the candidate's spans: counters
@@ -243,8 +246,8 @@ let snapshot_engine_counters ctx =
   end
 
 let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
-    ?(static_filter = true) ?fault ?budget ?checkpoint ?checkpoint_every
-    ?(workers = 1) ?ctx ~rng ~device ~probe model =
+    ?(static_filter = true) ?(stop = fun () -> false) ?fault ?budget ?checkpoint
+    ?checkpoint_every ?(workers = 1) ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
   (* Resolve the context: explicit knob arguments override the context's,
      which override the defaults. *)
@@ -309,37 +312,65 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
      depend on how the pool was split). *)
   Obs.set obs "search.generated" n;
   Obs.set obs "search.resumed" first;
-  let merge_outcome = function
-    | O_survivor cand -> (
-        match !best with
+  let processed = ref 0 in
+  let first_skip = ref None in
+  let merge_outcome i = function
+    | O_survivor cand ->
+        incr processed;
+        (match !best with
         | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
         | _ -> best := Some cand)
-    | O_rejected -> incr rejected
-    | O_failed (label, e) -> quarantine_rev := (label, e) :: !quarantine_rev
+    | O_rejected ->
+        incr processed;
+        incr rejected
+    | O_failed (label, e) ->
+        incr processed;
+        quarantine_rev := (label, e) :: !quarantine_rev
+    | O_skipped -> if !first_skip = None then first_skip := Some i
   in
   Obs.with_span obs "evaluate" (fun () ->
       if workers <= 1 then begin
         (* Sequential path: shared caches across the whole pool, periodic
-           checkpoints. *)
+           checkpoints.  The [stop] hook is polled between candidates: a
+           fired hook ends the run at the current index, which the final
+           checkpoint records so a resume continues exactly there. *)
         let i = ref first in
-        while !i < limit do
-          merge_outcome
-            (eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe
-               model !i pool.(!i));
-          incr i;
-          if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
-            save_checkpoint !i
+        let stopping = ref false in
+        while !i < limit && not !stopping do
+          if stop () then begin
+            stopping := true;
+            first_skip := Some !i
+          end
+          else begin
+            merge_outcome !i
+              (eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe
+                 model !i pool.(!i));
+            incr i;
+            if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
+              save_checkpoint !i
+          end
         done
       end
       else
         (* Parallel path: per-domain context forks evaluate contiguous
            chunks; outcomes come back in index order, so the sequential
-           merge below reproduces the workers=1 result exactly. *)
-        Array.iter merge_outcome
+           merge below reproduces the workers=1 result exactly.  Workers
+           poll [stop] per candidate (the hook must be domain-safe), so a
+           deadline cancels in-flight chunks at candidate granularity. *)
+        Array.iteri
+          (fun off o -> merge_outcome (first + off) o)
           (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
-               eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack
-                 ~static_filter ~oracle ~device ~probe model i pool.(i))));
-  save_checkpoint (if stopped then limit else n);
+               if stop () then O_skipped
+               else
+                 eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack
+                   ~static_filter ~oracle ~device ~probe model i pool.(i))));
+  (* Resume point: the first unprocessed index.  When the stop hook fired
+     mid-pool, candidates past it that a parallel worker already finished
+     are simply re-evaluated on resume (they are deterministic). *)
+  let reached =
+    match !first_skip with Some i -> i | None -> if stopped then limit else n
+  in
+  save_checkpoint reached;
   let best_cand =
     Obs.with_span obs "select" (fun () ->
         match !best with
@@ -353,8 +384,8 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
     r_explored = n;
     r_rejected = !rejected;
     r_quarantined = sort_quarantine !quarantine_rev;
-    r_evaluated = limit - first;
-    r_complete = not stopped;
+    r_evaluated = !processed;
+    r_complete = (not stopped) && !first_skip = None;
     r_checkpoint_error = !checkpoint_error;
     r_wall_s = Unix.gettimeofday () -. start }
 

@@ -51,6 +51,7 @@ val search :
   ?mutate_prob:float ->
   ?slack:float ->
   ?static_filter:bool ->
+  ?stop:(unit -> bool) ->
   ?fault:Fault.t ->
   ?budget:int ->
   ?checkpoint:string ->
@@ -73,6 +74,16 @@ val search :
     way for any [workers] count; the filter adds the deterministic
     [analysis.static_checked] / [analysis.static_reject] counters that
     {!Report} surfaces as the static-vs-Fisher rejection split.
+
+    [stop] (default: never) is a cooperative cancellation hook polled
+    between candidate evaluations — the daemon installs a deadline
+    watchdog here.  Once it returns true the run stops, returns its
+    best-so-far incumbent with [r_complete = false], and saves a resumable
+    checkpoint at the first unprocessed index.  With [workers > 1] the
+    hook is polled from every worker domain, so it must be domain-safe
+    (e.g. {!Deadline.expired} on the shared monotonic clock); cancellation
+    is at candidate granularity.  A run whose hook never fires is
+    bit-identical to one without a hook.
 
     [ctx] (default: the process default context) owns the memo caches and
     the default evaluation knobs; an explicit [fault] / [budget] /

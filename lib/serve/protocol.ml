@@ -1,0 +1,398 @@
+(* Line-oriented JSON protocol: one flat JSON object per line in, one per
+   line out.  The parser below handles exactly that shape — an object of
+   scalar fields — with a proper string lexer, so no external JSON
+   dependency is needed (mirroring Obs_event's dependency-free codec). *)
+
+type value = Null | Bool of bool | Num of float | Str of string
+
+exception Parse of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let parse_flat_object (s : string) : (string * value) list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then parse_error "unexpected end of input"
+    else begin
+      let c = s.[!pos] in
+      incr pos;
+      c
+    end
+  in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    let g = next () in
+    if g <> c then parse_error "expected '%c', got '%c'" c g
+  in
+  let utf8_of_code buf code =
+    (* Basic-multilingual-plane escapes only; lone surrogates map to '?'. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code >= 0xD800 && code <= 0xDFFF then Buffer.add_char buf '?'
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 4 > n then parse_error "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with Failure _ -> parse_error "bad \\u escape %s" hex
+              in
+              utf8_of_code buf code
+          | c -> parse_error "bad escape \\%c" c);
+          go ())
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some ('t' | 'f' | 'n') ->
+        let kw stop v =
+          let l = String.length stop in
+          if !pos + l <= n && String.sub s !pos l = stop then begin
+            pos := !pos + l;
+            v
+          end
+          else parse_error "bad literal at offset %d" !pos
+        in
+        if s.[!pos] = 't' then kw "true" (Bool true)
+        else if s.[!pos] = 'f' then kw "false" (Bool false)
+        else kw "null" Null
+    | Some ('{' | '[') -> parse_error "nested values are not part of the protocol"
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        if !pos = start then parse_error "expected a value at offset %d" start;
+        let tok = String.sub s start (!pos - start) in
+        (try Num (float_of_string tok) with Failure _ -> parse_error "bad number %s" tok)
+    | None -> parse_error "unexpected end of input"
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  (match peek () with
+  | Some '}' -> incr pos
+  | _ ->
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | c -> parse_error "expected ',' or '}', got '%c'" c
+      in
+      members ());
+  skip_ws ();
+  if !pos <> n then parse_error "trailing garbage after object";
+  List.rev !fields
+
+(* --- field accessors ---------------------------------------------------- *)
+
+let find fields key = List.assoc_opt key fields
+
+let str_field fields key =
+  match find fields key with
+  | Some (Str s) -> Some s
+  | Some _ -> parse_error "field %s must be a string" key
+  | None -> None
+
+let num_field fields key =
+  match find fields key with
+  | Some (Num x) -> Some x
+  | Some _ -> parse_error "field %s must be a number" key
+  | None -> None
+
+let int_field fields key =
+  match num_field fields key with
+  | Some x ->
+      let i = int_of_float x in
+      if float_of_int i <> x then parse_error "field %s must be an integer" key;
+      Some i
+  | None -> None
+
+(* --- requests ----------------------------------------------------------- *)
+
+type request = {
+  rq_id : string;
+  rq_network : string;
+  rq_device : string;
+  rq_candidates : int;
+  rq_seed : int;
+  rq_mutate_prob : float option;
+  rq_budget : int option;
+  rq_deadline_ms : float option;
+  rq_fault_rate : float;
+  rq_fault_seed : int option;
+  rq_workers : int;
+}
+
+let request ?(network = "resnet18") ?(device = "CPU") ?(candidates = 40)
+    ?(seed = 42) ?mutate_prob ?budget ?deadline_ms ?(fault_rate = 0.0) ?fault_seed
+    ?(workers = 1) id =
+  { rq_id = id;
+    rq_network = network;
+    rq_device = device;
+    rq_candidates = candidates;
+    rq_seed = seed;
+    rq_mutate_prob = mutate_prob;
+    rq_budget = budget;
+    rq_deadline_ms = deadline_ms;
+    rq_fault_rate = fault_rate;
+    rq_fault_seed = fault_seed;
+    rq_workers = workers }
+
+type msg = Search of request | Ping | Stats | Shutdown
+
+let validated rq =
+  if rq.rq_candidates < 1 then parse_error "candidates must be >= 1";
+  if rq.rq_workers < 1 then parse_error "workers must be >= 1";
+  if rq.rq_fault_rate < 0.0 || rq.rq_fault_rate > 1.0 then
+    parse_error "fault_rate must be in [0,1]";
+  (match rq.rq_deadline_ms with
+  | Some d when d <= 0.0 -> parse_error "deadline_ms must be positive"
+  | _ -> ());
+  (match rq.rq_budget with
+  | Some b when b < 1 -> parse_error "budget must be >= 1"
+  | _ -> ());
+  (match rq.rq_mutate_prob with
+  | Some p when p < 0.0 || p > 1.0 -> parse_error "mutate_prob must be in [0,1]"
+  | _ -> ());
+  rq
+
+let parse line =
+  match parse_flat_object line with
+  | exception Parse m -> Error m
+  | fields -> (
+      match str_field fields "op" with
+      | exception Parse m -> Error m
+      | Some "ping" -> Ok Ping
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown op %s" other)
+      | None -> (
+          try
+            let dflt = request "" in
+            let get_s key d = Option.value ~default:d (str_field fields key) in
+            let get_i key d = Option.value ~default:d (int_field fields key) in
+            Ok
+              (Search
+                 (validated
+                    { rq_id = get_s "id" "";
+                      rq_network = get_s "network" dflt.rq_network;
+                      rq_device = get_s "device" dflt.rq_device;
+                      rq_candidates = get_i "candidates" dflt.rq_candidates;
+                      rq_seed = get_i "seed" dflt.rq_seed;
+                      rq_mutate_prob = num_field fields "mutate_prob";
+                      rq_budget = int_field fields "budget";
+                      rq_deadline_ms = num_field fields "deadline_ms";
+                      rq_fault_rate =
+                        Option.value ~default:0.0 (num_field fields "fault_rate");
+                      rq_fault_seed = int_field fields "fault_seed";
+                      rq_workers = get_i "workers" dflt.rq_workers }))
+          with Parse m -> Error m))
+
+(* --- wire writing ------------------------------------------------------- *)
+
+let jstr = Obs_event.json_string
+
+(* Protocol floats favor readability over bit-exact round-trips: %.6g is
+   plenty for latencies and rates, and keeps response lines short. *)
+let jnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let jbool b = if b then "true" else "false"
+
+let request_to_json rq =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "{\"id\": %s" (jstr rq.rq_id));
+  Buffer.add_string b (Printf.sprintf ", \"network\": %s" (jstr rq.rq_network));
+  Buffer.add_string b (Printf.sprintf ", \"device\": %s" (jstr rq.rq_device));
+  Buffer.add_string b (Printf.sprintf ", \"candidates\": %d" rq.rq_candidates);
+  Buffer.add_string b (Printf.sprintf ", \"seed\": %d" rq.rq_seed);
+  Option.iter
+    (fun p -> Buffer.add_string b (Printf.sprintf ", \"mutate_prob\": %s" (jnum p)))
+    rq.rq_mutate_prob;
+  Option.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf ", \"budget\": %d" n))
+    rq.rq_budget;
+  Option.iter
+    (fun d -> Buffer.add_string b (Printf.sprintf ", \"deadline_ms\": %s" (jnum d)))
+    rq.rq_deadline_ms;
+  if rq.rq_fault_rate > 0.0 then
+    Buffer.add_string b (Printf.sprintf ", \"fault_rate\": %s" (jnum rq.rq_fault_rate));
+  Option.iter
+    (fun s -> Buffer.add_string b (Printf.sprintf ", \"fault_seed\": %d" s))
+    rq.rq_fault_seed;
+  if rq.rq_workers <> 1 then
+    Buffer.add_string b (Printf.sprintf ", \"workers\": %d" rq.rq_workers);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* --- responses ---------------------------------------------------------- *)
+
+type result_payload = {
+  rs_id : string;
+  rs_best_plan : string;
+  rs_best_latency_us : float;
+  rs_baseline_latency_us : float;
+  rs_speedup : float;
+  rs_explored : int;
+  rs_rejected : int;
+  rs_quarantined : int;
+  rs_evaluated : int;
+  rs_complete : bool;
+  rs_degraded : bool;
+  rs_retries : int;
+  rs_cache_hits : int;
+  rs_wall_ms : float;
+}
+
+type response =
+  | Result of result_payload
+  | Overloaded of { ov_id : string; ov_retry_after_ms : float }
+  | Unavailable of { un_id : string; un_reason : string; un_retry_after_ms : float }
+  | Error_resp of { er_id : string; er_class : string; er_message : string }
+  | Pong
+  | Stats_resp of (string * float) list
+
+let response_to_json = function
+  | Result r ->
+      Printf.sprintf
+        "{\"id\": %s, \"status\": \"ok\", \"best_plan\": %s, \
+         \"best_latency_us\": %s, \"baseline_latency_us\": %s, \"speedup\": %s, \
+         \"explored\": %d, \"rejected\": %d, \"quarantined\": %d, \
+         \"evaluated\": %d, \"complete\": %s, \"degraded\": %s, \"retries\": %d, \
+         \"cache_hits\": %d, \"wall_ms\": %s}"
+        (jstr r.rs_id) (jstr r.rs_best_plan)
+        (jnum r.rs_best_latency_us)
+        (jnum r.rs_baseline_latency_us)
+        (jnum r.rs_speedup) r.rs_explored r.rs_rejected r.rs_quarantined
+        r.rs_evaluated (jbool r.rs_complete) (jbool r.rs_degraded) r.rs_retries
+        r.rs_cache_hits (jnum r.rs_wall_ms)
+  | Overloaded o ->
+      Printf.sprintf
+        "{\"id\": %s, \"status\": \"overloaded\", \"retry_after_ms\": %s}"
+        (jstr o.ov_id) (jnum o.ov_retry_after_ms)
+  | Unavailable u ->
+      Printf.sprintf
+        "{\"id\": %s, \"status\": \"unavailable\", \"reason\": %s, \
+         \"retry_after_ms\": %s}"
+        (jstr u.un_id) (jstr u.un_reason)
+        (jnum u.un_retry_after_ms)
+  | Error_resp e ->
+      Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"class\": %s, \"message\": %s}"
+        (jstr e.er_id) (jstr e.er_class) (jstr e.er_message)
+  | Pong -> "{\"status\": \"pong\"}"
+  | Stats_resp kvs ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b "{\"status\": \"stats\"";
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf ", %s: %s" (jstr k) (jnum v)))
+        kvs;
+      Buffer.add_string b "}";
+      Buffer.contents b
+
+let response_of_json line =
+  match parse_flat_object line with
+  | exception Parse m -> Error m
+  | fields -> (
+      try
+        let id () = Option.value ~default:"" (str_field fields "id") in
+        let num key = match num_field fields key with Some x -> x | None -> 0.0 in
+        let int key = match int_field fields key with Some i -> i | None -> 0 in
+        let bool key =
+          match find fields key with Some (Bool b) -> b | _ -> false
+        in
+        match str_field fields "status" with
+        | Some "ok" ->
+            Ok
+              (Result
+                 { rs_id = id ();
+                   rs_best_plan =
+                     Option.value ~default:"" (str_field fields "best_plan");
+                   rs_best_latency_us = num "best_latency_us";
+                   rs_baseline_latency_us = num "baseline_latency_us";
+                   rs_speedup = num "speedup";
+                   rs_explored = int "explored";
+                   rs_rejected = int "rejected";
+                   rs_quarantined = int "quarantined";
+                   rs_evaluated = int "evaluated";
+                   rs_complete = bool "complete";
+                   rs_degraded = bool "degraded";
+                   rs_retries = int "retries";
+                   rs_cache_hits = int "cache_hits";
+                   rs_wall_ms = num "wall_ms" })
+        | Some "overloaded" ->
+            Ok
+              (Overloaded
+                 { ov_id = id (); ov_retry_after_ms = num "retry_after_ms" })
+        | Some "unavailable" ->
+            Ok
+              (Unavailable
+                 { un_id = id ();
+                   un_reason = Option.value ~default:"" (str_field fields "reason");
+                   un_retry_after_ms = num "retry_after_ms" })
+        | Some "error" ->
+            Ok
+              (Error_resp
+                 { er_id = id ();
+                   er_class = Option.value ~default:"" (str_field fields "class");
+                   er_message = Option.value ~default:"" (str_field fields "message") })
+        | Some "pong" -> Ok Pong
+        | Some "stats" ->
+            Ok
+              (Stats_resp
+                 (List.filter_map
+                    (fun (k, v) ->
+                      match v with Num x when k <> "status" -> Some (k, x) | _ -> None)
+                    fields))
+        | Some other -> Error (Printf.sprintf "unknown status %s" other)
+        | None -> Error "missing status field"
+      with Parse m -> Error m)

@@ -188,6 +188,26 @@ let t_checkpoint_rejects_garbage () =
   Sys.remove path;
   Alcotest.(check bool) "bad magic is a structured error" true bad
 
+let t_checkpoint_rejects_truncated () =
+  (* A crash mid-write can leave a prefix of a valid snapshot (only via an
+     external copy — the atomic writer itself never exposes one); loading
+     it must be a structured error, not a crash or a half-read value. *)
+  let path = tmp_path "nas_pte_trunc_ckpt.bin" in
+  (match Checkpoint.save ~path ("state", [ 1; 2; 3 ], 2.5) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Nas_error.to_string e));
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub whole 0 (String.length whole / 2)));
+  let truncated =
+    match Checkpoint.load ~path with
+    | Error (Nas_error.Checkpoint_error _) -> true
+    | _ -> false
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "truncated file is a structured error" true truncated
+
 (* --- hardened search ---------------------------------------------------- *)
 
 let quarantine_has r signature =
@@ -351,7 +371,8 @@ let () =
           quick "budget" t_supervisor_budget ] );
       ( "checkpoint",
         [ quick "roundtrip" t_checkpoint_roundtrip;
-          quick "garbage" t_checkpoint_rejects_garbage ] );
+          quick "garbage" t_checkpoint_rejects_garbage;
+          quick "truncated" t_checkpoint_rejects_truncated ] );
       ( "search",
         [ quick "nan fisher quarantined" t_search_nan_fisher_quarantined;
           quick "survives 30% faults" t_search_survives_30pct_faults;
