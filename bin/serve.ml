@@ -8,7 +8,7 @@
    per-workload circuit breakers); sessions share crash-safe cost/Fisher
    caches that persist across restarts via --cache-file.
 
-     echo '{"id":"r1","network":"resnet18","candidates":20}' | nas_serve
+     echo '{"op":"search","id":"r1","network":"resnet18","candidates":20}' | nas_serve
      nas_serve --smoke        # in-process self-test, no stdio needed *)
 
 open Cmdliner

@@ -36,10 +36,19 @@ let allow t ~key =
   let e = entry t key in
   match e.en_state with
   | Closed -> true
-  | Half_open -> false (* one probe already outstanding *)
+  | Half_open ->
+      (* [en_opened_at] is the outstanding probe's start.  A probe whose
+         outcome is never reported (a crashed caller) must not wedge the
+         key: after a full cooldown with no verdict, let a new probe in. *)
+      if t.br_clock () -. e.en_opened_at >= t.br_cooldown_s then begin
+        e.en_opened_at <- t.br_clock ();
+        true (* the old probe is presumed lost; this caller replaces it *)
+      end
+      else false
   | Open ->
       if t.br_clock () -. e.en_opened_at >= t.br_cooldown_s then begin
         e.en_state <- Half_open;
+        e.en_opened_at <- t.br_clock ();
         true (* this caller is the probe *)
       end
       else false
@@ -64,9 +73,21 @@ let failure t ~key =
       e.en_failures <- e.en_failures + 1;
       if e.en_failures >= t.br_threshold then trip t e
 
+let abandon t ~key =
+  let e = entry t key in
+  match e.en_state with
+  | Half_open ->
+      (* The probe ended without a verdict (timeout, unclassified escape):
+         neither a recovery nor evidence of workload failure, so back to
+         Open with a fresh cooldown — and no trip counted. *)
+      e.en_state <- Open;
+      e.en_failures <- 0;
+      e.en_opened_at <- t.br_clock ()
+  | Open | Closed -> ()
+
 let retry_after_s t ~key =
   match Hashtbl.find_opt t.br_tbl key with
-  | Some e when e.en_state = Open ->
+  | Some e when e.en_state = Open || e.en_state = Half_open ->
       Float.max 0.0 (t.br_cooldown_s -. (t.br_clock () -. e.en_opened_at))
   | _ -> 0.0
 

@@ -26,7 +26,9 @@ val allow : t -> key:string -> bool
 (** Whether a request for [key] may proceed.  In [Open] state this flips
     the key to [Half_open] and returns true once the cooldown has elapsed
     — the caller becomes the probe; until then (and while a probe is
-    outstanding) it returns false. *)
+    outstanding) it returns false.  A probe whose verdict never arrives
+    cannot wedge the key: once a further cooldown passes with the key
+    still [Half_open], the next caller replaces the lost probe. *)
 
 val success : t -> key:string -> unit
 (** Report a successful session: resets the failure count and closes the
@@ -36,14 +38,23 @@ val failure : t -> key:string -> unit
 (** Report a failed session: counts toward the threshold when [Closed],
     re-opens immediately when [Half_open]. *)
 
+val abandon : t -> key:string -> unit
+(** Report that a half-open probe ended without a verdict (deadline
+    expiry, an unclassified escape): the key returns to [Open] and the
+    cooldown restarts, so the workload is re-probed later instead of
+    being refused forever.  Not counted in {!trips}; a no-op unless the
+    key is [Half_open]. *)
+
 val state : t -> key:string -> state
 (** The key's current state ([Closed] if never seen). *)
 
 val retry_after_s : t -> key:string -> float
-(** Remaining cooldown for an [Open] key; 0 otherwise. *)
+(** Remaining cooldown for an [Open] key, or time until a [Half_open]
+    key's outstanding probe is presumed lost; 0 for [Closed]. *)
 
 val trips : t -> int
-(** Times any key transitioned to [Open]. *)
+(** Times any key transitioned to [Open] on failure (abandoned probes
+    re-open the key without counting here). *)
 
 val state_name : state -> string
 (** Stable label: ["closed"], ["open"] or ["half-open"]. *)

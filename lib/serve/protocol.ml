@@ -204,6 +204,13 @@ let validated rq =
   | _ -> ());
   rq
 
+(* Every key a search request may carry.  Anything else is rejected: a
+   typo'd knob ("candidats") must come back as an error, not be silently
+   ignored in favor of its default. *)
+let search_keys =
+  [ "op"; "id"; "network"; "device"; "candidates"; "seed"; "mutate_prob";
+    "budget"; "deadline_ms"; "fault_rate"; "fault_seed"; "workers" ]
+
 let parse line =
   match parse_flat_object line with
   | exception Parse m -> Error m
@@ -213,9 +220,13 @@ let parse line =
       | Some "ping" -> Ok Ping
       | Some "stats" -> Ok Stats
       | Some "shutdown" -> Ok Shutdown
-      | Some other -> Error (Printf.sprintf "unknown op %s" other)
-      | None -> (
+      | Some "search" -> (
           try
+            List.iter
+              (fun (k, _) ->
+                if not (List.mem k search_keys) then
+                  parse_error "unknown field %s in search request" k)
+              fields;
             let dflt = request "" in
             let get_s key d = Option.value ~default:d (str_field fields key) in
             let get_i key d = Option.value ~default:d (int_field fields key) in
@@ -234,7 +245,12 @@ let parse line =
                         Option.value ~default:0.0 (num_field fields "fault_rate");
                       rq_fault_seed = int_field fields "fault_seed";
                       rq_workers = get_i "workers" dflt.rq_workers }))
-          with Parse m -> Error m))
+          with Parse m -> Error m)
+      | Some other -> Error (Printf.sprintf "unknown op %s" other)
+      | None ->
+          (* Defaulting a bare '{}' (or a typo'd "opp" key) into a full
+             search would silently launch real work; demand intent. *)
+          Error "missing op field (search | ping | stats | shutdown)")
 
 (* --- wire writing ------------------------------------------------------- *)
 
@@ -251,7 +267,7 @@ let jbool b = if b then "true" else "false"
 
 let request_to_json rq =
   let b = Buffer.create 128 in
-  Buffer.add_string b (Printf.sprintf "{\"id\": %s" (jstr rq.rq_id));
+  Buffer.add_string b (Printf.sprintf "{\"op\": \"search\", \"id\": %s" (jstr rq.rq_id));
   Buffer.add_string b (Printf.sprintf ", \"network\": %s" (jstr rq.rq_network));
   Buffer.add_string b (Printf.sprintf ", \"device\": %s" (jstr rq.rq_device));
   Buffer.add_string b (Printf.sprintf ", \"candidates\": %d" rq.rq_candidates);

@@ -1,10 +1,12 @@
 (** The daemon's wire protocol: line-oriented JSON.
 
-    One flat JSON object per line in each direction.  A request names a
-    workload ([network], [device]), a [seed], a [candidates] pool size and
-    the per-request robustness knobs ([budget], [deadline_ms],
-    [fault_rate], ...); control lines carry an ["op"] field instead
-    ({["ping"]}, {["stats"]}, {["shutdown"]}).  Responses are
+    One flat JSON object per line in each direction.  Every request line
+    carries an ["op"] field: ["search"] names a workload ([network],
+    [device]), a [seed], a [candidates] pool size and the per-request
+    robustness knobs ([budget], [deadline_ms], [fault_rate], ...);
+    ["ping"], ["stats"] and ["shutdown"] are control lines.  A missing
+    [op] or an unrecognized search field is a parse error — a bare [{}]
+    or a typo'd key must never default into real work.  Responses are
     discriminated by their ["status"] field: ["ok"] (a search result,
     possibly [degraded] to best-so-far by a deadline), ["overloaded"]
     (admission rejection, with a retry-after hint), ["unavailable"]
@@ -46,19 +48,21 @@ val request :
     no budget, no deadline, no faults, 1 worker. *)
 
 type msg =
-  | Search of request  (** a search request (a line without an ["op"]) *)
+  | Search of request  (** a search request (["op": "search"]) *)
   | Ping  (** liveness probe *)
   | Stats  (** ask for the server's counter snapshot *)
   | Shutdown  (** drain the queue and exit cleanly *)
 
 val parse : string -> (msg, string) result
-(** Parse one request line.  Malformed JSON, non-scalar fields, unknown
-    ops and out-of-range knob values (e.g. [fault_rate] outside [0,1])
-    all come back as [Error] with a one-line reason — the daemon answers
-    them with a ["status":"error"] response and keeps serving. *)
+(** Parse one request line.  Malformed JSON, non-scalar fields, a
+    missing or unknown [op], unrecognized search fields, and
+    out-of-range knob values (e.g. [fault_rate] outside [0,1]) all come
+    back as [Error] with a one-line reason — the daemon answers them
+    with a ["status":"error"] response and keeps serving. *)
 
 val request_to_json : request -> string
-(** One request line (no trailing newline); defaulted fields are omitted. *)
+(** One request line, ["op": "search"] included (no trailing newline);
+    defaulted fields are omitted. *)
 
 type result_payload = {
   rs_id : string;

@@ -33,7 +33,17 @@ let default_config =
     cf_max_candidates = 512;
     cf_max_session_workers = 4 }
 
-type job = { jb_req : Protocol.request; jb_reply : Protocol.response -> unit }
+type job = {
+  jb_req : Protocol.request;
+  jb_deadline : Deadline.t;
+      (* stamped at submit, so queue wait counts against the budget *)
+  jb_reply : Protocol.response -> unit;
+}
+
+(* Per-session wall times kept for stats: a bounded ring of the most
+   recent sessions, so a long-lived daemon's memory and stats cost stay
+   flat. *)
+let session_times_cap = 4096
 
 type t = {
   sv_cfg : config;
@@ -45,7 +55,9 @@ type t = {
   sv_breaker : Breaker.t;
   sv_shared : Eval_ctx.t;
   sv_obs : Obs.t;
-  mutable sv_session_times : float list;
+  sv_times : float array;  (* ring of the last [session_times_cap] durations *)
+  mutable sv_times_len : int;
+  mutable sv_times_pos : int;  (* next write index *)
   mutable sv_warm_entries : int;
   mutable sv_cache_error : Nas_error.t option;
   mutable sv_sessions_done : int;
@@ -101,15 +113,12 @@ let sanitize_id id =
   Bytes.to_string b
 
 (* Runs entirely on the worker domain; takes the server lock only for the
-   short shared-cache and telemetry sections, never across a search. *)
-let run_search_session t (rq : Protocol.request) config device =
+   short shared-cache and telemetry sections, never across a search.
+   [probe] says this session is its workload's half-open breaker probe:
+   an outcome that is neither a success nor a workload failure must then
+   hand the key back to Open (see the [Error] branch below). *)
+let run_search_session t (rq : Protocol.request) ~deadline ~probe config device =
   let cfg = t.sv_cfg in
-  let deadline =
-    match rq.rq_deadline_ms, cfg.cf_default_deadline_ms with
-    | Some ms, _ | None, Some ms ->
-        Deadline.make ~clock:t.sv_clock ~after_s:(ms /. 1000.0) ()
-    | None, None -> Deadline.none
-  in
   let seed = request_seed rq.rq_id in
   let attempt_session ~attempt =
     Deadline.guard deadline ~label:("session " ^ rq.rq_id);
@@ -207,16 +216,21 @@ let run_search_session t (rq : Protocol.request) config device =
       locked t (fun () ->
           Obs.incr t.sv_obs "serve.errors";
           (* A client's deadline says nothing about the workload's health,
-             so Timed_out does not count toward tripping its breaker. *)
+             so Timed_out does not count toward tripping its breaker — but
+             a probe ending this way has no verdict either, and must not
+             leave the key wedged Half_open: abandon restarts the
+             cooldown, so the workload is re-probed later. *)
           match e with
-          | Nas_error.Timed_out _ -> Obs.incr t.sv_obs "serve.deadline_expired"
+          | Nas_error.Timed_out _ ->
+              Obs.incr t.sv_obs "serve.deadline_expired";
+              if probe then Breaker.abandon t.sv_breaker ~key
           | _ -> Breaker.failure t.sv_breaker ~key);
       Protocol.Error_resp
         { er_id = rq.rq_id;
           er_class = Nas_error.class_name e;
           er_message = Nas_error.to_string e }
 
-let run_session t (rq : Protocol.request) =
+let run_session t (rq : Protocol.request) ~deadline =
   (* Validate before consulting the breaker, so a malformed request can
      neither trip a workload's breaker nor consume its half-open probe. *)
   match network_of_name rq.rq_network, Device.by_name rq.rq_device with
@@ -232,18 +246,28 @@ let run_session t (rq : Protocol.request) =
           er_message = "unknown device " ^ rq.rq_device }
   | Some config, Some device ->
       let key = workload_key rq in
-      let allowed, retry_after =
+      let allowed, probe, retry_after =
         locked t (fun () ->
             let a = Breaker.allow t.sv_breaker ~key in
             if not a then Obs.incr t.sv_obs "serve.breaker_open";
-            (a, Breaker.retry_after_s t.sv_breaker ~key))
+            ( a,
+              a && Breaker.state t.sv_breaker ~key = Breaker.Half_open,
+              Breaker.retry_after_s t.sv_breaker ~key ))
       in
       if not allowed then
         Protocol.Unavailable
           { un_id = rq.rq_id;
             un_reason = "breaker_open";
             un_retry_after_ms = 1000.0 *. retry_after }
-      else run_search_session t rq config device
+      else
+        try run_search_session t rq ~deadline ~probe config device
+        with e ->
+          (* An escape the taxonomy cannot classify gives the probe no
+             verdict: hand the key back to Open (fresh cooldown) before
+             the worker's catch-all answers, or it stays Half_open — and
+             refused — forever. *)
+          if probe then locked t (fun () -> Breaker.abandon t.sv_breaker ~key);
+          raise e
 
 (* --- the worker pool ---------------------------------------------------- *)
 
@@ -262,7 +286,7 @@ let rec worker_loop t =
        the taxonomy cannot classify — it answers its own request and the
        daemon keeps serving the others. *)
     let resp =
-      try run_session t job.jb_req
+      try run_session t job.jb_req ~deadline:job.jb_deadline
       with e ->
         Protocol.Error_resp
           { er_id = job.jb_req.Protocol.rq_id;
@@ -274,7 +298,10 @@ let rec worker_loop t =
     Mutex.lock t.sv_lock;
     Admission.finished t.sv_admission ~dur_s:dur;
     t.sv_sessions_done <- t.sv_sessions_done + 1;
-    t.sv_session_times <- dur :: t.sv_session_times;
+    t.sv_times.(t.sv_times_pos) <- dur;
+    t.sv_times_pos <- (t.sv_times_pos + 1) mod session_times_cap;
+    if t.sv_times_len < session_times_cap then
+      t.sv_times_len <- t.sv_times_len + 1;
     Obs.observe t.sv_obs "serve.session_s" dur;
     if
       t.sv_cfg.cf_cache_save_every > 0
@@ -314,7 +341,9 @@ let create ?(clock = Deadline.monotonic) ?(config = default_config) () =
           ~cooldown_s:config.cf_breaker_cooldown_s ();
       sv_shared = shared;
       sv_obs = Obs.create ~clock ();
-      sv_session_times = [];
+      sv_times = Array.make session_times_cap 0.0;
+      sv_times_len = 0;
+      sv_times_pos = 0;
       sv_warm_entries = warm;
       sv_cache_error = cache_error;
       sv_sessions_done = 0;
@@ -327,6 +356,16 @@ let create ?(clock = Deadline.monotonic) ?(config = default_config) () =
   t
 
 let submit_async t req ~reply =
+  (* The deadline clock starts here, not at dequeue: time spent waiting
+     in the admission queue counts against the client's budget, and a job
+     already expired when a worker picks it up fails fast on its first
+     guard. *)
+  let deadline =
+    match req.Protocol.rq_deadline_ms, t.sv_cfg.cf_default_deadline_ms with
+    | Some ms, _ | None, Some ms ->
+        Deadline.make ~clock:t.sv_clock ~after_s:(ms /. 1000.0) ()
+    | None, None -> Deadline.none
+  in
   let decision =
     locked t (fun () ->
         if t.sv_stopping then `Stopping
@@ -337,7 +376,9 @@ let submit_async t req ~reply =
               `Rejected retry_after
           | Admission.Admitted ->
               Obs.incr t.sv_obs "serve.admitted";
-              Queue.push { jb_req = req; jb_reply = reply } t.sv_queue;
+              Queue.push
+                { jb_req = req; jb_deadline = deadline; jb_reply = reply }
+                t.sv_queue;
               Condition.signal t.sv_cond;
               `Admitted)
   in
@@ -409,7 +450,12 @@ let stats t =
         st_queued = Admission.queued t.sv_admission;
         st_warm_entries = t.sv_warm_entries;
         st_cache_error = t.sv_cache_error;
-        st_session_times_s = Array.of_list (List.rev t.sv_session_times);
+        st_session_times_s =
+          (if t.sv_times_len < session_times_cap then
+             Array.sub t.sv_times 0 t.sv_times_len
+           else
+             Array.init session_times_cap (fun i ->
+                 t.sv_times.((t.sv_times_pos + i) mod session_times_cap)));
         st_cost = Eval_ctx.cost_stats t.sv_shared;
         st_fisher = Eval_ctx.fisher_stats t.sv_shared })
 

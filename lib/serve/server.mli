@@ -56,7 +56,10 @@ val submit_async : t -> Protocol.request -> reply:(Protocol.response -> unit) ->
 (** Enqueue one request.  The admission decision is taken immediately:
     a rejection invokes [reply] with [Overloaded] before returning,
     otherwise [reply] is invoked from a worker domain when the session
-    finishes.  [reply] must be domain-safe. *)
+    finishes.  The request's deadline ([deadline_ms], or the configured
+    default) starts counting here — queue wait spends the client's
+    budget, and an already-expired job fails fast at dequeue.  [reply]
+    must be domain-safe. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** {!submit_async} and block for the response (test/bench convenience). *)
@@ -86,7 +89,9 @@ type stats = {
   st_warm_entries : int;  (** cache entries restored at boot *)
   st_cache_error : Nas_error.t option;
       (** the boot-time cache-load or latest save failure, if any *)
-  st_session_times_s : float array;  (** per-session wall times, in order *)
+  st_session_times_s : float array;
+      (** wall times of the most recent sessions (bounded ring of 4096,
+          oldest first) — enough for p50/p99 without unbounded growth *)
   st_cost : Bounded_cache.stats;  (** shared workload-cost memo counters *)
   st_fisher : Bounded_cache.stats;  (** shared Fisher memo counters *)
 }

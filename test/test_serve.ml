@@ -29,7 +29,7 @@ let t_request_roundtrip () =
   | Error e -> Alcotest.fail e
 
 let t_request_defaults () =
-  match Protocol.parse {|{"id":"d"}|} with
+  match Protocol.parse {|{"op":"search","id":"d"}|} with
   | Ok (Protocol.Search rq) ->
       Alcotest.(check string) "network" "resnet18" rq.Protocol.rq_network;
       Alcotest.(check string) "device" "CPU" rq.Protocol.rq_device;
@@ -43,13 +43,20 @@ let t_parse_rejects () =
   in
   Alcotest.(check bool) "garbage" true (bad "ceci n'est pas du json");
   Alcotest.(check bool) "nested value" true (bad {|{"id":"x","meta":{"a":1}}|});
-  Alcotest.(check bool) "trailing junk" true (bad {|{"id":"x"} extra|});
+  Alcotest.(check bool) "trailing junk" true (bad {|{"op":"search","id":"x"} extra|});
   Alcotest.(check bool) "fault_rate out of range" true
-    (bad {|{"id":"x","fault_rate":1.5}|});
+    (bad {|{"op":"search","id":"x","fault_rate":1.5}|});
   Alcotest.(check bool) "non-positive deadline" true
-    (bad {|{"id":"x","deadline_ms":0}|});
-  Alcotest.(check bool) "zero candidates" true (bad {|{"id":"x","candidates":0}|});
-  Alcotest.(check bool) "unknown op" true (bad {|{"op":"dance"}|})
+    (bad {|{"op":"search","id":"x","deadline_ms":0}|});
+  Alcotest.(check bool) "zero candidates" true
+    (bad {|{"op":"search","id":"x","candidates":0}|});
+  Alcotest.(check bool) "unknown op" true (bad {|{"op":"dance"}|});
+  (* A line without an explicit op must never default into a search. *)
+  Alcotest.(check bool) "empty object" true (bad "{}");
+  Alcotest.(check bool) "missing op" true (bad {|{"id":"x"}|});
+  Alcotest.(check bool) "typo'd op key" true (bad {|{"opp":"ping"}|});
+  Alcotest.(check bool) "unrecognized search field" true
+    (bad {|{"op":"search","id":"x","candidats":5}|})
 
 let t_parse_ops () =
   let op s v = Protocol.parse s = Ok v in
@@ -224,6 +231,37 @@ let t_breaker_state_machine () =
   Alcotest.(check int) "two trips recorded" 2 (Breaker.trips b);
   Alcotest.(check bool) "other keys unaffected" true
     (Breaker.allow b ~key:"resnet34|GPU")
+
+(* A probe whose outcome never arrives must not wedge the key Half_open
+   forever: an explicit [abandon] returns it to Open with a fresh
+   cooldown, and even without one a stale probe is replaced after a
+   cooldown's worth of silence. *)
+let t_breaker_probe_cannot_wedge () =
+  let t = ref 0.0 in
+  let clock () = !t in
+  let b = Breaker.create ~clock ~threshold:1 ~cooldown_s:10.0 () in
+  let key = "resnet18|CPU" in
+  Breaker.failure b ~key;
+  t := 10.0;
+  Alcotest.(check bool) "probe admitted" true (Breaker.allow b ~key);
+  Breaker.abandon b ~key;
+  Alcotest.(check string) "abandoned probe re-opens" "open"
+    (Breaker.state_name (Breaker.state b ~key));
+  Alcotest.(check bool) "fresh cooldown refuses" false (Breaker.allow b ~key);
+  Alcotest.(check bool) "retry-after restarted" true
+    (Breaker.retry_after_s b ~key > 0.0);
+  Alcotest.(check int) "abandon is not a trip" 1 (Breaker.trips b);
+  t := 20.0;
+  Alcotest.(check bool) "re-probes after the cooldown" true (Breaker.allow b ~key);
+  (* This probe simply never reports: the stale-probe escape re-admits. *)
+  Alcotest.(check bool) "half-open hints a retry-after" true
+    (Breaker.retry_after_s b ~key > 0.0);
+  t := 30.0;
+  Alcotest.(check bool) "silent probe replaced after cooldown" true
+    (Breaker.allow b ~key);
+  Breaker.success b ~key;
+  Alcotest.(check string) "replacement probe closes the key" "closed"
+    (Breaker.state_name (Breaker.state b ~key))
 
 (* --- shared caches ------------------------------------------------------ *)
 
@@ -522,6 +560,95 @@ let t_server_breaker_opens () =
   Alcotest.(check bool) "trip recorded" true (st.Server.st_breaker_trips >= 1);
   Alcotest.(check bool) "refusal counted" true (st.Server.st_breaker_open >= 1)
 
+(* The probe whose session ends in Timed_out — deliberately not a breaker
+   failure — must hand the key back to Open rather than leave it wedged
+   Half_open: the workload recovers once a healthy probe gets through. *)
+let t_server_stuck_probe_recovers () =
+  let now = Atomic.make 0.0 in
+  let clock () = Atomic.get now in
+  let bad = find_id (fun trips -> trips 0) in
+  let good = find_id (fun trips -> not (trips 0)) in
+  let srv =
+    Server.create ~clock
+      ~config:
+        { Server.default_config with
+          cf_workers = 1;
+          cf_fault = flaky_plan ();
+          cf_retry = Retry.no_retry;
+          cf_breaker_threshold = 1;
+          cf_breaker_cooldown_s = 5.0 }
+      ()
+  in
+  (match Server.submit srv (Protocol.request ~candidates:4 ~seed:1 bad) with
+  | Protocol.Error_resp { er_class; _ } ->
+      Alcotest.(check string) "workload tripped" "injected-fault" er_class
+  | _ -> Alcotest.fail "failing workload did not trip");
+  Atomic.set now 5.0;
+  (* Cooldown elapsed: this request is the probe, and it is already past
+     its (submit-stamped) deadline, so it times out with no verdict. *)
+  (match
+     Server.submit srv
+       (Protocol.request ~candidates:4 ~seed:2 ~deadline_ms:0.0 "probe")
+   with
+  | Protocol.Error_resp { er_class; _ } ->
+      Alcotest.(check string) "probe timed out" "timed-out" er_class
+  | _ -> Alcotest.fail "expired probe was not timed out");
+  (* The abandoned probe re-opened the key: refused, with a hint. *)
+  (match Server.submit srv (Protocol.request ~candidates:4 ~seed:3 "refused") with
+  | Protocol.Unavailable { un_reason; _ } ->
+      Alcotest.(check string) "cooldown restarted" "breaker_open" un_reason
+  | _ -> Alcotest.fail "key was not re-opened after the lost probe");
+  Atomic.set now 10.0;
+  (match Server.submit srv (Protocol.request ~candidates:4 ~seed:4 good) with
+  | Protocol.Result r ->
+      Alcotest.(check bool) "healthy probe recovers the workload" true
+        r.Protocol.rs_complete
+  | _ -> Alcotest.fail "workload never recovered from the lost probe");
+  ignore (Server.shutdown srv)
+
+(* The deadline clock starts at submit: a request whose budget elapses
+   while it waits in the admission queue is expired, not granted a fresh
+   deadline at dequeue. *)
+let t_server_queue_wait_expires_deadline () =
+  let now = Atomic.make 0.0 in
+  let clock () = Atomic.get now in
+  let srv =
+    Server.create ~clock ~config:{ Server.default_config with cf_workers = 1 } ()
+  in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let pending = ref 2 in
+  let queued = ref None in
+  let note slot resp =
+    Mutex.lock lock;
+    (match slot with Some r -> r := Some resp | None -> ());
+    decr pending;
+    Condition.signal cond;
+    Mutex.unlock lock
+  in
+  Server.submit_async srv (Protocol.request ~candidates:6 ~seed:1 "ahead")
+    ~reply:(note None);
+  Server.submit_async srv
+    (Protocol.request ~candidates:6 ~seed:2 ~deadline_ms:1000.0 "queued")
+    ~reply:(note (Some queued));
+  (* The queued request's whole budget elapses behind "ahead". *)
+  Atomic.set now 10.0;
+  Mutex.lock lock;
+  while !pending > 0 do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  (match !queued with
+  | Some (Protocol.Error_resp { er_class; _ }) ->
+      Alcotest.(check string) "expired while queued" "timed-out" er_class
+  | Some (Protocol.Result r) ->
+      Alcotest.(check bool) "or degraded to best-so-far" true
+        r.Protocol.rs_degraded
+  | _ -> Alcotest.fail "queued request was not answered");
+  let st = Server.shutdown srv in
+  Alcotest.(check bool) "queue-wait expiry counted" true
+    (st.Server.st_deadline_expired >= 1)
+
 let t_server_bad_requests () =
   let srv = Server.create ~config:{ Server.default_config with cf_workers = 1 } () in
   (match Server.submit srv (Protocol.request ~network:"alexnet" "unknown-net") with
@@ -584,7 +711,9 @@ let () =
           quick "stops on permanent" t_retry_stops_on_permanent;
           quick "respects deadline" t_retry_respects_deadline ] );
       ("admission", [ quick "bounds" t_admission_bounds ]);
-      ("breaker", [ quick "state machine" t_breaker_state_machine ]);
+      ( "breaker",
+        [ quick "state machine" t_breaker_state_machine;
+          quick "probe cannot wedge" t_breaker_probe_cannot_wedge ] );
       ( "shared caches",
         [ quick "entries merge" t_cache_entries_merge;
           quick "persistence roundtrip" t_ctx_cache_persistence;
@@ -596,6 +725,8 @@ let () =
           quick "deadline expiry" t_server_deadline_expired;
           quick "retries transients" t_server_retries_transient;
           quick "breaker opens" t_server_breaker_opens;
+          quick "stuck probe recovers" t_server_stuck_probe_recovers;
+          quick "queue wait expires deadline" t_server_queue_wait_expires_deadline;
           quick "bad requests" t_server_bad_requests;
           quick "cold start on corrupt snapshot"
             t_server_cold_start_on_corrupt_snapshot ] ) ]
