@@ -2,7 +2,7 @@
    evaluation (sec 7) and runs Bechamel micro-benchmarks of the kernels.
 
    Usage:  dune exec bench/main.exe [-- section ...]
-   Sections: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 analysis ablations micro
+   Sections: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 analysis ablations zoo micro
    Default: all.  Set NPTE_MODE=full for paper-scale pool sizes. *)
 
 let ppf = Format.std_formatter
@@ -35,6 +35,7 @@ let run_section mode name =
   | "fig9" -> ignore (Fig9.run mode ppf)
   | "analysis" -> ignore (Exp_analysis.run mode (get_fig4 mode) ppf)
   | "ablations" -> ignore (Ablations.run mode ppf)
+  | "zoo" -> ignore (Exp_zoo.run mode ppf)
     | "micro" -> Micro.run ppf
     | other -> Format.fprintf ppf "unknown section %s@." other
   with exn ->
@@ -46,7 +47,7 @@ let run_section mode name =
 
 let all_sections =
   [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "analysis";
-    "ablations"; "micro" ]
+    "ablations"; "zoo"; "micro" ]
 
 let () =
   let mode = Exp_common.mode_of_env () in

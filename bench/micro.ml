@@ -11,7 +11,7 @@ let conv_test =
   let weight = Tensor.rand_normal rng [| 16; 16; 3; 3 |] ~mean:0.0 ~std:0.1 in
   Test.make ~name:"conv2d fwd 4x16x16x16 k3"
     (Staged.stage (fun () ->
-         ignore (Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 1; groups = 1 })))
+         ignore (Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 1; groups = 1; dilation = 1 })))
 
 let conv_bwd_test =
   let rng = Rng.create 2 in
@@ -20,7 +20,7 @@ let conv_bwd_test =
   let gout = Tensor.rand_normal rng [| 4; 16; 16; 16 |] ~mean:0.0 ~std:1.0 in
   Test.make ~name:"conv2d bwd 4x16x16x16 k3"
     (Staged.stage (fun () ->
-         ignore (Ops.conv2d_backward ~input ~weight ~gout { Ops.stride = 1; pad = 1; groups = 1 })))
+         ignore (Ops.conv2d_backward ~input ~weight ~gout { Ops.stride = 1; pad = 1; groups = 1; dilation = 1 })))
 
 let fisher_test =
   let rng = Rng.create 3 in

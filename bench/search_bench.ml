@@ -89,6 +89,47 @@ let () =
         (if i = n - 1 then "" else ","))
     runs;
   Printf.fprintf oc "  ],\n";
+  (* Per-family rows: the unified search run on every family the registry
+     adds beyond the paper presets, at the default build seed.  Survivor
+     fraction = candidates that passed Fisher and quarantine screening. *)
+  let fam_candidates = 16 in
+  let new_entries = List.filter (fun e -> not e.Zoo.ze_paper) Zoo.all in
+  Printf.fprintf oc "  \"families\": [\n";
+  let nf = List.length new_entries in
+  List.iteri
+    (fun i (e : Zoo.entry) ->
+      let rng = Rng.create 42 in
+      let model = Models.build (e.ze_spec `Search) rng in
+      let probe =
+        Exp_common.probe_batch (Rng.split rng)
+          ~input_size:model.Models.input_size
+      in
+      let r =
+        Unified_search.search ~candidates:fam_candidates ~rng:(Rng.split rng)
+          ~device:Device.i7 ~probe model
+      in
+      let survivors =
+        r.Unified_search.r_explored - r.r_rejected
+        - List.length r.r_quarantined
+      in
+      let frac =
+        float_of_int survivors /. float_of_int (max 1 r.r_explored)
+      in
+      Printf.printf "family %-16s sites=%d survivors=%d/%d best=%.4fms\n%!"
+        e.ze_name
+        (Array.length model.Models.sites)
+        survivors r.r_explored
+        (1000.0 *. r.r_best.Unified_search.cd_latency_s);
+      Printf.fprintf oc
+        "    {\"network\": \"%s\", \"sites\": %d, \"candidates\": %d, \
+         \"survivor_fraction\": %.4f, \"best_latency_ms\": %.4f}%s\n"
+        e.ze_name
+        (Array.length model.Models.sites)
+        fam_candidates frac
+        (1000.0 *. r.Unified_search.r_best.Unified_search.cd_latency_s)
+        (if i = nf - 1 then "" else ","))
+    new_entries;
+  Printf.fprintf oc "  ],\n";
   (* Differential-sanitizer agreement rate: the static legality analyzer
      against the sampling oracle over the seeded fuzz corpus (the same
      corpus `dune build @sanitize` gates CI on). *)

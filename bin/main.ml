@@ -13,23 +13,19 @@ open Cmdliner
 
 let ppf = Format.std_formatter
 
-let network_names = [ "resnet18"; "resnet34"; "resnext29"; "densenet161"; "densenet169"; "densenet201" ]
-
 (* Bad user input must exit with a one-line diagnostic and code 2, never a
    raw Invalid_argument backtrace. *)
 let die fmt = Format.kasprintf (fun msg -> prerr_endline ("nas_pte: " ^ msg); exit 2) fmt
 
-let config_of_name = function
-  | "resnet18" -> Models.resnet18 ()
-  | "resnet34" -> Models.resnet34 ()
-  | "resnext29" -> Models.resnext29 ()
-  | "densenet161" -> Models.densenet161 ()
-  | "densenet169" -> Models.densenet169 ()
-  | "densenet201" -> Models.densenet201 ()
-  | other -> die "unknown network %s (valid: %s)" other (String.concat ", " network_names)
+(* Every network the CLI accepts comes from the zoo registry; there is no
+   second list of names to keep in sync. *)
+let config_of_name name =
+  match Zoo.find name with
+  | Some e -> e.Zoo.ze_spec `Search
+  | None -> die "unknown network %s (valid: %s)" name Zoo.names_doc
 
 let network_arg =
-  let doc = "Network to optimize: " ^ String.concat ", " network_names ^ "." in
+  let doc = "Network to optimize: " ^ Zoo.names_doc ^ "." in
   Arg.(value & opt string "resnet34" & info [ "n"; "network" ] ~docv:"NET" ~doc)
 
 let device_arg =
@@ -382,6 +378,7 @@ let bench_cmd =
       | "fig9" -> ignore (Fig9.run mode ppf)
       | "analysis" -> ignore (Exp_analysis.run mode (Lazy.force fig4) ppf)
       | "ablations" -> ignore (Ablations.run mode ppf)
+      | "zoo" -> ignore (Exp_zoo.run mode ppf)
       | s -> Format.fprintf ppf "unknown section %s@." s
     in
     List.iter run_one (if sections = [] then [ "fig4" ] else sections)

@@ -51,7 +51,7 @@ let () =
     Ops.conv2d
       ~input:(Tensor.reshape input [| 1; 8; 8; 8 |])
       ~weight ~bias:None
-      { Ops.stride = 1; pad = 1; groups = 1 }
+      { Ops.stride = 1; pad = 1; groups = 1; dilation = 1 }
   in
   let max_diff = ref 0.0 in
   for c = 0 to 7 do

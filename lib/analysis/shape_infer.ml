@@ -139,6 +139,52 @@ let bounds_check (prog : Loop_nest.program) =
   @ check "weight" prog.Loop_nest.acc_w prog.Loop_nest.w_numel
   @ check "input" prog.Loop_nest.acc_i prog.Loop_nest.in_numel
 
+(* Internal consistency of a site record as emitted by the block algebra:
+   every check here is independent of the implementation choice, so it
+   complements [check_impl] (which judges an implementation against an
+   assumed-well-formed site). *)
+let check_site (site : Conv_impl.site) =
+  let ci = site.Conv_impl.in_channels and co = site.Conv_impl.out_channels in
+  let g0 = site.Conv_impl.groups in
+  let err code fmt = Diagnostic.error ~code fmt in
+  (if ci < 1 || co < 1 then
+     [ err "degenerate-extent" "site %s has degenerate channels %dx%d"
+         site.Conv_impl.site_label ci co ]
+   else [])
+  @ (if site.Conv_impl.kernel < 1 then
+       [ err "degenerate-extent" "site %s has kernel %d" site.Conv_impl.site_label
+           site.Conv_impl.kernel ]
+     else [])
+  @ (if site.Conv_impl.stride < 1 then
+       [ err "degenerate-extent" "site %s has stride %d" site.Conv_impl.site_label
+           site.Conv_impl.stride ]
+     else [])
+  @ (if g0 < 1 then
+       [ err "degenerate-groups" "site %s has baseline grouping %d"
+           site.Conv_impl.site_label g0 ]
+     else
+       (if ci mod g0 <> 0 then
+          [ err "indivisible-channel"
+              "site %s: baseline grouping %d does not divide the input channels %d"
+              site.Conv_impl.site_label g0 ci ]
+        else [])
+       @
+       if co mod g0 <> 0 then
+         [ err "indivisible-channel"
+             "site %s: baseline grouping %d does not divide the output channels %d"
+             site.Conv_impl.site_label g0 co ]
+       else [])
+  @
+  if site.Conv_impl.stride >= 1
+     && (site.Conv_impl.spatial_in < 1
+        || site.Conv_impl.spatial_in mod site.Conv_impl.stride <> 0
+        || Conv_impl.spatial_out site < 1)
+  then
+    [ err "indivisible-extent"
+        "site %s: stride %d does not tile the %d-wide input plane"
+        site.Conv_impl.site_label site.Conv_impl.stride site.Conv_impl.spatial_in ]
+  else []
+
 (* Mirrors [Conv_impl.valid] conjunct by conjunct: this function returns []
    exactly when [valid] returns true (asserted by a test), but names the
    violated condition.  Division guards follow [valid]'s short-circuit

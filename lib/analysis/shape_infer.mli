@@ -37,6 +37,12 @@ val check_schedule : Loop_nest.conv_nest -> Poly.t -> Diagnostic.t list
     inferred extents against the schedule's own domain ([shape-drift]
     would indicate an internal inconsistency). *)
 
+val check_site : Conv_impl.site -> Diagnostic.t list
+(** Internal consistency of a site record itself, independent of any
+    implementation choice: positive extents, baseline grouping dividing
+    both channel counts, stride tiling the input plane.  The zoo gate runs
+    this over every site of every registered family. *)
+
 val check_impl : Conv_impl.site -> Conv_impl.t -> Diagnostic.t list
 (** Diagnostic form of {!Conv_impl.valid}: empty exactly when the
     implementation choice is valid for the site, otherwise one diagnostic

@@ -1,0 +1,27 @@
+(** Zoo sweep: the unified transformation search run end-to-end on every
+    family the registry adds beyond the six paper presets, on every
+    modelled device.  Demonstrates that a one-line {!Zoo} entry is a fully
+    searchable workload. *)
+
+type row = {
+  network : string;
+  family : string;
+  sites : int;  (** transformable sites the search optimizes over *)
+  device : Device.t;
+  baseline_s : float;
+  ours_s : float;
+  ours_params : int;
+  baseline_params : int;
+  fisher_rejected : int;
+  explored : int;
+}
+
+val speedup : row -> float
+(** Baseline latency over searched latency. *)
+
+val new_families : unit -> Zoo.entry list
+(** The registry entries this section sweeps (the non-paper ones). *)
+
+val compute : Exp_common.mode -> row list
+val print : Format.formatter -> row list -> unit
+val run : Exp_common.mode -> Format.formatter -> row list

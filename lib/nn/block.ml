@@ -1,0 +1,391 @@
+type scale = [ `Search | `Train | `Imagenet ]
+
+type attention = No_attention | Squeeze_excite of { se_ratio : int }
+
+type kind =
+  | Basic
+  | Aggregated of { cardinality : int; reduce_num : int; reduce_den : int }
+  | Inverted of { expand_ratio : int }
+
+type residual = {
+  rs_blocks : int array;
+  rs_base_width : int;
+  rs_width_mult : int;
+  rs_expansion : int;
+  rs_kind : kind;
+  rs_attention : attention;
+  rs_stem_kernel : int;
+  rs_stem_stride : int;
+  rs_dilation : int;
+  rs_drop_path : float;
+}
+
+type dense = { dn_blocks : int array; dn_growth : int }
+type family = Residual of residual | Dense of dense
+
+type spec = {
+  sp_name : string;
+  sp_family : family;
+  sp_input_size : int;
+  sp_num_classes : int;
+  sp_paper_width : int;
+  sp_paper_input : int;
+}
+
+let scaled_width spec =
+  match spec.sp_family with
+  | Residual r -> r.rs_base_width
+  | Dense d -> d.dn_growth
+
+let cost_mults spec =
+  ( max 1 (spec.sp_paper_width / scaled_width spec),
+    max 1 (spec.sp_paper_input / spec.sp_input_size) )
+
+(* Output width of a residual stage. *)
+let stage_width r stage =
+  r.rs_base_width * r.rs_width_mult * r.rs_expansion * (1 lsl stage)
+
+let validate spec =
+  let problems = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  if spec.sp_name = "" then err "spec has an empty name";
+  if spec.sp_input_size < 1 then err "input size %d is degenerate" spec.sp_input_size;
+  if spec.sp_num_classes < 1 then
+    err "class count %d is degenerate" spec.sp_num_classes;
+  if spec.sp_paper_width < scaled_width spec then
+    err "paper width %d is below the scaled width %d" spec.sp_paper_width
+      (scaled_width spec);
+  if spec.sp_paper_input < spec.sp_input_size then
+    err "paper input %d is below the scaled input %d" spec.sp_paper_input
+      spec.sp_input_size;
+  (match spec.sp_family with
+  | Residual r ->
+      let stages = Array.length r.rs_blocks in
+      if stages = 0 then err "residual family has no stages";
+      Array.iteri
+        (fun i n -> if n < 1 then err "stage %d has %d blocks" i n)
+        r.rs_blocks;
+      if r.rs_base_width < 1 then err "base width %d is degenerate" r.rs_base_width;
+      if r.rs_width_mult < 1 then
+        err "width multiplier %d is degenerate" r.rs_width_mult;
+      if r.rs_expansion < 1 then err "expansion %d is degenerate" r.rs_expansion;
+      if r.rs_stem_kernel < 1 || r.rs_stem_kernel mod 2 = 0 then
+        err "stem kernel %d must be odd and positive" r.rs_stem_kernel;
+      if r.rs_stem_stride < 1 then
+        err "stem stride %d is degenerate" r.rs_stem_stride;
+      if r.rs_dilation < 1 then err "dilation %d is degenerate" r.rs_dilation;
+      if r.rs_drop_path < 0.0 || r.rs_drop_path >= 1.0 then
+        err "drop-path rate %g is outside [0, 1)" r.rs_drop_path;
+      if r.rs_stem_stride >= 1 && spec.sp_input_size mod r.rs_stem_stride <> 0 then
+        err "stem stride %d does not divide the input plane %d" r.rs_stem_stride
+          spec.sp_input_size;
+      if stages > 0 && r.rs_stem_stride >= 1 then begin
+        let after_stem = spec.sp_input_size / r.rs_stem_stride in
+        let downsamples = 1 lsl (stages - 1) in
+        if after_stem mod downsamples <> 0 || after_stem / downsamples < 1 then
+          err "input plane %d does not survive %d stage downsamplings" after_stem
+            (stages - 1)
+      end;
+      (match r.rs_kind with
+      | Basic -> ()
+      | Aggregated { cardinality; reduce_num; reduce_den } ->
+          if cardinality < 1 then err "cardinality %d is degenerate" cardinality;
+          if reduce_num < 1 || reduce_den < 1 then
+            err "reduction ratio %d/%d is degenerate" reduce_num reduce_den;
+          for stage = 0 to stages - 1 do
+            let out_c = stage_width r stage in
+            let scaled = out_c * reduce_num in
+            if reduce_den >= 1 && scaled mod reduce_den <> 0 then
+              err "stage %d inner width %d*%d/%d is fractional" stage out_c
+                reduce_num reduce_den
+            else if reduce_den >= 1 && cardinality >= 1 then begin
+              let inner = scaled / reduce_den in
+              if inner mod cardinality <> 0 || inner < cardinality then
+                err "stage %d inner width %d is not divisible by cardinality %d"
+                  stage inner cardinality
+            end
+          done
+      | Inverted { expand_ratio } ->
+          if expand_ratio < 1 then
+            err "expansion ratio %d is degenerate" expand_ratio);
+      (match r.rs_attention with
+      | No_attention -> ()
+      | Squeeze_excite { se_ratio } ->
+          if se_ratio < 1 then err "squeeze-excite ratio %d is degenerate" se_ratio)
+  | Dense d ->
+      let n_blocks = Array.length d.dn_blocks in
+      if n_blocks = 0 then err "dense family has no blocks";
+      Array.iteri
+        (fun i n -> if n < 1 then err "dense block %d has %d layers" i n)
+        d.dn_blocks;
+      if d.dn_growth < 1 then err "growth rate %d is degenerate" d.dn_growth;
+      if n_blocks > 1 then begin
+        let downsamples = 1 lsl (n_blocks - 1) in
+        if spec.sp_input_size mod downsamples <> 0
+           || spec.sp_input_size / downsamples < 1
+        then
+          err "input plane %d does not survive %d transition poolings"
+            spec.sp_input_size (n_blocks - 1)
+      end;
+      (* Transition convolutions halve the channel count (truncating, as in
+         the reference networks); the halved width must stay positive. *)
+      let channels = ref (2 * d.dn_growth) in
+      Array.iteri
+        (fun bi n_layers ->
+          channels := !channels + (n_layers * d.dn_growth);
+          if bi < n_blocks - 1 then begin
+            if !channels / 2 < 1 then
+              err "channel count %d entering transition %d collapses" !channels bi;
+            channels := !channels / 2
+          end)
+        d.dn_blocks);
+  List.rev !problems
+
+(* --- Build context ----------------------------------------------------- *)
+
+type ctx = {
+  b : Builder.t;
+  impls_in : Conv_impl.t array option;
+  mutable sites_rev : Conv_impl.site list;
+  mutable used_rev : Conv_impl.t list;
+  mutable fixed_rev : Conv_impl.workload list;
+  mutable next_site : int;
+}
+
+let fresh_ctx ?impls b =
+  { b; impls_in = impls; sites_rev = []; used_rev = []; fixed_rev = [];
+    next_site = 0 }
+
+let ctx_sites ctx = Array.of_list (List.rev ctx.sites_rev)
+let ctx_impls ctx = Array.of_list (List.rev ctx.used_rev)
+let ctx_fixed ctx = List.rev ctx.fixed_rev
+
+let impl_for ctx site =
+  match ctx.impls_in with
+  | None -> Conv_impl.Full
+  | Some arr ->
+      let impl = arr.(site.Conv_impl.site_index) in
+      if not (Conv_impl.valid site impl) then
+        invalid_arg
+          (Printf.sprintf "invalid impl %s for site %s" (Conv_impl.to_string impl)
+             site.Conv_impl.site_label);
+      impl
+
+(* Appends a transformable site with its selected implementation. *)
+let site ctx ~label ~in_channels ~out_channels ~kernel ~stride ?(groups = 1)
+    ~spatial src =
+  let s =
+    { Conv_impl.site_index = ctx.next_site; in_channels; out_channels; kernel;
+      stride; groups; spatial_in = spatial; site_label = label }
+  in
+  ctx.next_site <- ctx.next_site + 1;
+  let impl = impl_for ctx s in
+  ctx.sites_rev <- s :: ctx.sites_rev;
+  ctx.used_rev <- impl :: ctx.used_rev;
+  Builder.realize_site ctx.b s impl src
+
+(* Appends a fixed (non-transformable) conv-bn[-relu] and records its
+   workload.  Dilation does not change the workload's MAC count (same tap
+   count, same output plane under the matching padding), so the record needs
+   no dilation field. *)
+let fixed ctx ~label ~in_channels ~out_channels ~kernel ~stride ?(groups = 1)
+    ?(dilation = 1) ?(relu = true) ~spatial src =
+  ctx.fixed_rev <-
+    { Conv_impl.w_in_channels = in_channels; w_out_channels = out_channels;
+      w_kernel = kernel; w_stride = stride; w_groups = groups; w_spatial = spatial;
+      w_label = label }
+    :: ctx.fixed_rev;
+  Builder.conv_bn_relu ctx.b ~label ~in_channels ~out_channels ~kernel ~stride
+    ~groups ~dilation ~relu src
+
+let classifier ctx ~in_features ~num_classes src =
+  ctx.fixed_rev <-
+    { Conv_impl.w_in_channels = in_features; w_out_channels = num_classes;
+      w_kernel = 1; w_stride = 1; w_groups = 1; w_spatial = 1; w_label = "fc" }
+    :: ctx.fixed_rev;
+  let gap = Builder.add ctx.b ~label:"gap" Graph.Global_avg_pool [ src ] in
+  Builder.linear_layer ctx.b ~label:"fc" ~in_features ~out_features:num_classes gap
+
+(* Squeeze-excite gate on the main branch: gap -> FC reduce -> relu -> FC
+   expand -> sigmoid -> per-channel scale.  The two FCs are recorded as 1x1
+   spatial-1 workloads so parameter and MAC accounting stay exact. *)
+let squeeze_excite ctx ~label ~channels ~ratio src =
+  let b = ctx.b in
+  let mid = max 1 (channels / ratio) in
+  ctx.fixed_rev <-
+    { Conv_impl.w_in_channels = mid; w_out_channels = channels; w_kernel = 1;
+      w_stride = 1; w_groups = 1; w_spatial = 1; w_label = label ^ ".fc2" }
+    :: { Conv_impl.w_in_channels = channels; w_out_channels = mid; w_kernel = 1;
+         w_stride = 1; w_groups = 1; w_spatial = 1; w_label = label ^ ".fc1" }
+    :: ctx.fixed_rev;
+  let gap = Builder.add b ~label:(label ^ ".gap") Graph.Global_avg_pool [ src ] in
+  let fc1 =
+    Builder.linear_layer b ~label:(label ^ ".fc1") ~in_features:channels
+      ~out_features:mid gap
+  in
+  let r = Builder.add b ~label:(label ^ ".relu") Graph.Relu [ fc1 ] in
+  let fc2 =
+    Builder.linear_layer b ~label:(label ^ ".fc2") ~in_features:mid
+      ~out_features:channels r
+  in
+  let gate = Builder.add b ~label:(label ^ ".sigmoid") Graph.Sigmoid [ fc2 ] in
+  Builder.add b ~label:(label ^ ".scale") Graph.Scale_channels [ src; gate ]
+
+(* A 3x3 block convolution: a transformable site normally, a fixed dilated
+   convolution in a dilated final stage. *)
+let conv3 ctx ~label ~in_channels ~out_channels ~stride ~groups ~dil ~spatial src =
+  if dil = 1 then
+    site ctx ~label ~in_channels ~out_channels ~kernel:3 ~stride ~groups ~spatial
+      src
+  else
+    fixed ctx ~label ~in_channels ~out_channels ~kernel:3 ~stride ~groups
+      ~dilation:dil ~spatial src
+
+(* --- Residual families ------------------------------------------------- *)
+
+let emit_residual ctx spec r =
+  let b = ctx.b in
+  let inp = Builder.input b in
+  let spatial = ref spec.sp_input_size in
+  let cur =
+    ref
+      (fixed ctx ~label:"stem" ~in_channels:3 ~out_channels:r.rs_base_width
+         ~kernel:r.rs_stem_kernel ~stride:r.rs_stem_stride ~spatial:!spatial inp)
+  in
+  spatial := !spatial / r.rs_stem_stride;
+  let channels = ref r.rs_base_width in
+  let last_stage = Array.length r.rs_blocks - 1 in
+  Array.iteri
+    (fun stage n_blocks ->
+      let out_c = stage_width r stage in
+      let dil = if stage = last_stage then r.rs_dilation else 1 in
+      for blk = 0 to n_blocks - 1 do
+        let stride = if stage > 0 && blk = 0 then 2 else 1 in
+        let in_c = !channels in
+        let label = Printf.sprintf "s%d.b%d" stage blk in
+        let post_spatial = !spatial / stride in
+        let main =
+          match r.rs_kind with
+          | Basic ->
+              let c1 =
+                conv3 ctx ~label:(label ^ ".conv1") ~in_channels:in_c
+                  ~out_channels:out_c ~stride ~groups:1 ~dil ~spatial:!spatial !cur
+              in
+              conv3 ctx ~label:(label ^ ".conv2") ~in_channels:out_c
+                ~out_channels:out_c ~stride:1 ~groups:1 ~dil ~spatial:post_spatial
+                c1
+          | Aggregated { cardinality; reduce_num; reduce_den } ->
+              let inner = out_c * reduce_num / reduce_den in
+              let reduce =
+                fixed ctx ~label:(label ^ ".reduce") ~in_channels:in_c
+                  ~out_channels:inner ~kernel:1 ~stride:1 ~spatial:!spatial !cur
+              in
+              let grouped =
+                conv3 ctx ~label:(label ^ ".conv3x3") ~in_channels:inner
+                  ~out_channels:inner ~stride ~groups:cardinality ~dil
+                  ~spatial:!spatial reduce
+              in
+              fixed ctx ~label:(label ^ ".expand") ~in_channels:inner
+                ~out_channels:out_c ~kernel:1 ~stride:1 ~relu:false
+                ~spatial:post_spatial grouped
+          | Inverted { expand_ratio } ->
+              let mid = in_c * expand_ratio in
+              let expand =
+                site ctx ~label:(label ^ ".expand") ~in_channels:in_c
+                  ~out_channels:mid ~kernel:1 ~stride:1 ~spatial:!spatial !cur
+              in
+              let dw =
+                fixed ctx ~label:(label ^ ".dw") ~in_channels:mid
+                  ~out_channels:mid ~kernel:3 ~stride ~groups:mid ~dilation:dil
+                  ~spatial:!spatial expand
+              in
+              site ctx ~label:(label ^ ".project") ~in_channels:mid
+                ~out_channels:out_c ~kernel:1 ~stride:1 ~spatial:post_spatial dw
+        in
+        let main =
+          match r.rs_attention with
+          | No_attention -> main
+          | Squeeze_excite { se_ratio } ->
+              squeeze_excite ctx ~label:(label ^ ".se") ~channels:out_c
+                ~ratio:se_ratio main
+        in
+        (match r.rs_kind with
+        | Basic | Aggregated _ ->
+            let shortcut =
+              if stride = 1 && in_c = out_c then !cur
+              else
+                fixed ctx ~label:(label ^ ".down") ~in_channels:in_c
+                  ~out_channels:out_c ~kernel:1 ~stride ~relu:false
+                  ~spatial:!spatial !cur
+            in
+            let sum =
+              Builder.add b ~label:(label ^ ".add") Graph.Add [ main; shortcut ]
+            in
+            cur := Builder.add b ~label:(label ^ ".out") Graph.Relu [ sum ]
+        | Inverted _ ->
+            (* MobileNet-style joins: identity shortcut when the interface
+               matches, otherwise the projection output stands alone. *)
+            if stride = 1 && in_c = out_c then
+              cur := Builder.add b ~label:(label ^ ".add") Graph.Add [ main; !cur ]
+            else cur := main);
+        spatial := post_spatial;
+        channels := out_c
+      done)
+    r.rs_blocks;
+  classifier ctx ~in_features:!channels ~num_classes:spec.sp_num_classes !cur
+
+(* --- DenseNet-BC ------------------------------------------------------- *)
+
+let emit_dense ctx spec d =
+  let b = ctx.b in
+  let growth = d.dn_growth in
+  let inp = Builder.input b in
+  let spatial = ref spec.sp_input_size in
+  let cur =
+    ref
+      (fixed ctx ~label:"stem" ~in_channels:3 ~out_channels:(2 * growth) ~kernel:3
+         ~stride:1 ~spatial:!spatial inp)
+  in
+  let channels = ref (2 * growth) in
+  let n_dense_blocks = Array.length d.dn_blocks in
+  Array.iteri
+    (fun bi n_layers ->
+      for li = 0 to n_layers - 1 do
+        let label = Printf.sprintf "d%d.l%d" bi li in
+        let c = !channels in
+        let mid = 4 * growth in
+        let reduce =
+          site ctx ~label:(label ^ ".conv1x1") ~in_channels:c ~out_channels:mid
+            ~kernel:1 ~stride:1 ~spatial:!spatial !cur
+        in
+        let grown =
+          site ctx ~label:(label ^ ".conv3x3") ~in_channels:mid ~out_channels:growth
+            ~kernel:3 ~stride:1 ~spatial:!spatial reduce
+        in
+        cur := Builder.add b ~label:(label ^ ".cat") Graph.Concat [ !cur; grown ];
+        channels := c + growth
+      done;
+      if bi < n_dense_blocks - 1 then begin
+        let c = !channels in
+        let half = c / 2 in
+        let trans =
+          fixed ctx
+            ~label:(Printf.sprintf "t%d.conv" bi)
+            ~in_channels:c ~out_channels:half ~kernel:1 ~stride:1 ~spatial:!spatial
+            !cur
+        in
+        cur :=
+          Builder.add b
+            ~label:(Printf.sprintf "t%d.pool" bi)
+            (Graph.Avg_pool { size = 2; stride = 2; pad = 0 })
+            [ trans ];
+        channels := half;
+        spatial := !spatial / 2
+      end)
+    d.dn_blocks;
+  classifier ctx ~in_features:!channels ~num_classes:spec.sp_num_classes !cur
+
+let emit ctx spec =
+  match spec.sp_family with
+  | Residual r -> emit_residual ctx spec r
+  | Dense d -> emit_dense ctx spec d

@@ -1,0 +1,112 @@
+(** Parameterized block algebra underlying the model zoo.
+
+    A network family is a {!spec}: a stem description, a stage/block layout
+    and a block kind drawn from a small algebra (basic residual, aggregated
+    grouped bottleneck, inverted depthwise-separable), optionally decorated
+    with squeeze-excite attention, dilation in the final stage and a
+    drop-path rate.  {!emit} lowers a spec onto a {!Builder} while recording
+    every transformable convolution {!Conv_impl.site} and every fixed
+    workload, so whole families (ResNet, WideResNet, ResNeXt, DenseNet,
+    MobileNet-style...) become one-line entries in {!Zoo} instead of
+    hand-written builder functions. *)
+
+(** Model scales shared by every family: [`Search] is the size used by the
+    performance experiments, [`Train] is smaller so SGD training stays
+    cheap, [`Imagenet] is the larger-input / more-classes variant. *)
+type scale = [ `Search | `Train | `Imagenet ]
+
+(** Channel-attention decoration of a residual block. *)
+type attention =
+  | No_attention
+  | Squeeze_excite of { se_ratio : int }
+      (** global-average-pool -> FC reduce by [se_ratio] -> relu -> FC
+          expand -> sigmoid gate multiplied back onto the block output *)
+
+(** The block kinds of the algebra. *)
+type kind =
+  | Basic
+      (** two 3x3 convolution sites (ResNet / WideResNet basic block) *)
+  | Aggregated of { cardinality : int; reduce_num : int; reduce_den : int }
+      (** 1x1 reduce to [out_c * reduce_num / reduce_den] channels, grouped
+          3x3 site with [cardinality] groups, 1x1 expand (ResNeXt) *)
+  | Inverted of { expand_ratio : int }
+      (** 1x1 expand site to [in_c * expand_ratio], fixed depthwise 3x3,
+          1x1 project site (MobileNet-style inverted residual) *)
+
+type residual = {
+  rs_blocks : int array;  (** residual blocks per stage *)
+  rs_base_width : int;  (** stem width; stage widths grow from it *)
+  rs_width_mult : int;  (** WideResNet widening factor *)
+  rs_expansion : int;  (** block output expansion factor *)
+  rs_kind : kind;
+  rs_attention : attention;
+  rs_stem_kernel : int;
+  rs_stem_stride : int;  (** 1 for CIFAR-style stems, 2 for ImageNet-style *)
+  rs_dilation : int;
+      (** when > 1, the final stage's 3x3 convolutions are dilated by this
+          factor and emitted as fixed workloads rather than sites (the
+          transformation catalogue targets dense convolutions) *)
+  rs_drop_path : float;
+      (** stochastic-depth rate in [0,1); recorded for trainers that apply
+          it, structurally inert at build time *)
+}
+(** A residual family: stage [s] has
+    [rs_base_width * rs_width_mult * rs_expansion * 2^s] output channels and
+    downsamples by 2 at its first block (except stage 0). *)
+
+type dense = {
+  dn_blocks : int array;  (** dense layers per dense block *)
+  dn_growth : int;  (** growth rate k of DenseNet-BC *)
+}
+
+type family = Residual of residual | Dense of dense
+
+type spec = {
+  sp_name : string;
+  sp_family : family;
+  sp_input_size : int;
+  sp_num_classes : int;
+  sp_paper_width : int;
+      (** the real network's base width / growth rate; with the scaled width
+          it determines the channel cost multiplier *)
+  sp_paper_input : int;
+      (** the real network's input resolution; with the scaled input it
+          determines the spatial cost multiplier *)
+}
+(** A complete, buildable family description.  The [sp_paper_*] fields carry
+    the paper-scale dimensions explicitly so cost accounting never infers
+    them from the family name. *)
+
+val cost_mults : spec -> int * int
+(** [(channel, spatial)] multipliers mapping the scaled-down model back to
+    the paper-scale network, computed from the explicit [sp_paper_*]
+    dimensions: [max 1 (paper_width / scaled_width)] and
+    [max 1 (paper_input / input_size)]. *)
+
+val validate : spec -> string list
+(** Structural problems with the spec (empty when well-formed): degenerate
+    dimensions, stage layouts whose strides do not divide the input plane,
+    aggregated widths not divisible by the cardinality, out-of-range
+    drop-path and the like. *)
+
+type ctx
+(** Build context threading the site counter, the chosen implementation per
+    site and the fixed-workload accumulator through {!emit}. *)
+
+val fresh_ctx : ?impls:Conv_impl.t array -> Builder.t -> ctx
+(** A context realizing each site with [impls.(site_index)] (validated
+    against {!Conv_impl.valid}), or with [Full] everywhere when omitted. *)
+
+val emit : ctx -> spec -> int
+(** Lowers the spec onto the context's builder (input node, stem, stages,
+    classifier) and returns the output node id. *)
+
+val ctx_sites : ctx -> Conv_impl.site array
+(** Transformable sites recorded by {!emit}, in network order. *)
+
+val ctx_impls : ctx -> Conv_impl.t array
+(** The implementation chosen for each site, aligned with {!ctx_sites}. *)
+
+val ctx_fixed : ctx -> Conv_impl.workload list
+(** Fixed (non-transformable) workloads recorded by {!emit}: stem,
+    shortcuts, reductions, transitions, squeeze-excite FCs, classifier. *)

@@ -26,11 +26,11 @@ let input t =
   add t ~label:"input" Graph.Input []
 
 let conv_bn_relu t ~label ~in_channels ~out_channels ~kernel ~stride ?pad
-    ?(groups = 1) ?(relu = true) src =
-  let pad = match pad with Some p -> p | None -> kernel / 2 in
+    ?(groups = 1) ?(dilation = 1) ?(relu = true) src =
+  let pad = match pad with Some p -> p | None -> dilation * (kernel / 2) in
   let conv =
     Layer.conv (layer_rng t label) ~name:label ~in_channels ~out_channels ~kernel
-      ~stride ~pad ~groups
+      ~stride ~dilation ~pad ~groups
   in
   let c = add t ~label (Graph.Conv conv) [ src ] in
   let bn_layer = Layer.bn ~name:(label ^ ".bn") ~channels:out_channels in

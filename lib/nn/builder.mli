@@ -35,11 +35,13 @@ val conv_bn_relu :
   stride:int ->
   ?pad:int ->
   ?groups:int ->
+  ?dilation:int ->
   ?relu:bool ->
   int ->
   int
 (** Convenience: conv -> batch norm -> (optional) relu chain from the given
-    input node; default padding is [kernel / 2]. *)
+    input node; default padding is [dilation * (kernel / 2)], which preserves
+    the spatial extent for odd kernels at stride 1. *)
 
 val linear_layer : t -> label:string -> in_features:int -> out_features:int -> int -> int
 (** Appends a fully connected layer. *)

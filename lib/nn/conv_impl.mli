@@ -36,7 +36,10 @@ type t =
           convolved with different grouping factors and concatenated *)
 
 val pp : Format.formatter -> t -> unit
+(** Short human-readable name, e.g. ["grouped(g=4)"]. *)
+
 val to_string : t -> string
+(** String form of {!pp}. *)
 
 val spatial_out : site -> int
 (** Square output feature-map extent ([spatial_in / stride]). *)
@@ -76,5 +79,8 @@ val workloads : site -> t -> workload list
     implementation, in execution order. *)
 
 val workload_macs : workload -> int
+(** Multiply-accumulates of one workload at batch 1. *)
+
 val workload_out_spatial : workload -> int
+(** Square output feature-map extent of a workload. *)
 

@@ -12,6 +12,8 @@ type op =
   | Identity
   | Zero
   | Upsample of int
+  | Sigmoid
+  | Scale_channels
 
 type node = { id : int; op : op; inputs : int list; label : string }
 type t = { nodes : node array; output_id : int }
@@ -55,7 +57,8 @@ let forward g input =
         | Conv c ->
             Ops.conv2d ~input:acts.(one_input node) ~weight:c.Layer.cv_w.p_value
               ~bias:(Option.map (fun b -> b.Layer.p_value) c.cv_b)
-              { Ops.stride = c.cv_stride; pad = c.cv_pad; groups = c.cv_groups }
+              { Ops.stride = c.cv_stride; pad = c.cv_pad; groups = c.cv_groups;
+                dilation = c.cv_dilation }
         | Batch_norm b ->
             let out, cache =
               Ops.batch_norm ~input:acts.(one_input node) ~gamma:b.Layer.bn_gamma.p_value
@@ -86,6 +89,13 @@ let forward g input =
         | Identity -> acts.(one_input node)
         | Zero -> Tensor.zeros (Tensor.shape acts.(one_input node))
         | Upsample f -> Ops.upsample_nearest acts.(one_input node) f
+        | Sigmoid -> Ops.sigmoid acts.(one_input node)
+        | Scale_channels -> begin
+            match node.inputs with
+            | [ main; gate ] ->
+                Ops.scale_channels ~input:acts.(main) ~gate:acts.(gate)
+            | _ -> invalid_arg (node.label ^ ": scale_channels expects [main; gate]")
+          end
       in
       acts.(i) <- act)
     g.nodes;
@@ -113,7 +123,8 @@ let backward g run ~loss_grad =
             let input = run.acts.(one_input node) in
             let gin, gw, gb =
               Ops.conv2d_backward ~input ~weight:c.Layer.cv_w.p_value ~gout
-                { Ops.stride = c.cv_stride; pad = c.cv_pad; groups = c.cv_groups }
+                { Ops.stride = c.cv_stride; pad = c.cv_pad; groups = c.cv_groups;
+                  dilation = c.cv_dilation }
             in
             Tensor.add_ c.cv_w.p_grad gw;
             (match c.cv_b with
@@ -170,7 +181,21 @@ let backward g run ~loss_grad =
         | Upsample f ->
             let input = run.acts.(one_input node) in
             accumulate grads (one_input node)
-              (Ops.upsample_nearest_backward ~input ~gout f))
+              (Ops.upsample_nearest_backward ~input ~gout f)
+        | Sigmoid ->
+            accumulate grads (one_input node)
+              (Ops.sigmoid_backward ~out:run.acts.(i) ~gout)
+        | Scale_channels -> begin
+            match node.inputs with
+            | [ main; gate ] ->
+                let gmain, ggate =
+                  Ops.scale_channels_backward ~input:run.acts.(main)
+                    ~gate:run.acts.(gate) ~gout
+                in
+                accumulate grads main gmain;
+                accumulate grads gate ggate
+            | _ -> assert false
+          end)
   done
 
 let activation_grad run i =
@@ -187,7 +212,7 @@ let params g =
          | Batch_norm b -> [ b.Layer.bn_gamma; b.bn_beta ]
          | Linear l -> [ l.Layer.ln_w; l.ln_b ]
          | Input | Relu | Max_pool _ | Avg_pool _ | Global_avg_pool | Add | Concat
-         | Identity | Zero | Upsample _ ->
+         | Identity | Zero | Upsample _ | Sigmoid | Scale_channels ->
              [])
 
 let param_count g =

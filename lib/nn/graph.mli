@@ -19,6 +19,10 @@ type op =
   | Identity
   | Zero  (** shape-preserving zero map (NAS-bench "none" op) *)
   | Upsample of int  (** nearest-neighbour spatial upsampling *)
+  | Sigmoid  (** elementwise logistic gate (squeeze-excite) *)
+  | Scale_channels
+      (** two inputs [main; gate]: multiplies each channel plane of the NCHW
+          [main] activation by the matching [N;C] gate value *)
 
 type node = {
   id : int;
@@ -61,7 +65,13 @@ val params : t -> Layer.param list
 (** All trainable parameters, in node order. *)
 
 val param_count : t -> int
+(** Total scalar parameter count. *)
+
 val zero_grads : t -> unit
+(** Zeroes every parameter gradient in place. *)
 
 val node_count : t -> int
+(** Number of nodes in the graph. *)
+
 val node : t -> int -> node
+(** The node with the given id. *)

@@ -11,10 +11,13 @@ type conv = {
   cv_stride : int;
   cv_pad : int;
   cv_groups : int;
+  cv_dilation : int;
 }
 
-let conv rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~groups =
+let conv rng ~name ~in_channels ~out_channels ~kernel ~stride ~dilation ~pad
+    ~groups =
   assert (in_channels mod groups = 0 && out_channels mod groups = 0);
+  assert (dilation >= 1);
   let cig = in_channels / groups in
   let fan_in = cig * kernel * kernel in
   let w = Tensor.kaiming rng [| out_channels; cig; kernel; kernel |] ~fan_in in
@@ -22,7 +25,8 @@ let conv rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~groups =
     cv_b = None;
     cv_stride = stride;
     cv_pad = pad;
-    cv_groups = groups }
+    cv_groups = groups;
+    cv_dilation = dilation }
 
 type bn = { bn_gamma : param; bn_beta : param; bn_eps : float }
 

@@ -19,6 +19,7 @@ type conv = {
   cv_stride : int;
   cv_pad : int;
   cv_groups : int;
+  cv_dilation : int;  (** kernel-tap spacing; 1 is a dense kernel *)
 }
 
 val conv :
@@ -28,6 +29,7 @@ val conv :
   out_channels:int ->
   kernel:int ->
   stride:int ->
+  dilation:int ->
   pad:int ->
   groups:int ->
   conv
@@ -40,6 +42,7 @@ type bn = {
 }
 
 val bn : name:string -> channels:int -> bn
+(** Identity-initialized batch norm over [channels]. *)
 
 type linear = {
   ln_w : param;
@@ -47,7 +50,13 @@ type linear = {
 }
 
 val linear : Rng.t -> name:string -> in_features:int -> out_features:int -> linear
+(** Fully connected layer, Kaiming-initialized from the label-addressed RNG. *)
 
 val conv_param_count : conv -> int
+(** Scalar parameters of a convolution (weights only). *)
+
 val bn_param_count : bn -> int
+(** Scalar parameters of a batch norm (gamma and beta). *)
+
 val linear_param_count : linear -> int
+(** Scalar parameters of a linear layer (weights and bias). *)

@@ -1,30 +1,6 @@
-type config =
-  | Resnet of {
-      name : string;
-      blocks : int array;
-      base_width : int;
-      input_size : int;
-      num_classes : int;
-      stem_stride : int;
-    }
-  | Resnext of {
-      name : string;
-      blocks_per_stage : int;
-      cardinality : int;
-      base_width : int;
-      input_size : int;
-      num_classes : int;
-    }
-  | Densenet of {
-      name : string;
-      blocks : int array;
-      growth : int;
-      input_size : int;
-      num_classes : int;
-    }
+type config = Block.spec
 
-let config_name = function
-  | Resnet { name; _ } | Resnext { name; _ } | Densenet { name; _ } -> name
+let config_name (c : config) = c.Block.sp_name
 
 type t = {
   config : config;
@@ -41,237 +17,16 @@ type t = {
   cost_mult_s : int;
 }
 
-(* Multipliers mapping the scaled-down model back to the original network's
-   dimensions (ResNet/ResNeXt base width 64, DenseNet-161 growth 48, CIFAR
-   input 32, ImageNet input 224). *)
-let cost_mults = function
-  | Resnet { base_width; input_size; stem_stride; _ } ->
-      ( max 1 (64 / base_width),
-        max 1 ((if stem_stride > 1 then 224 else 32) / input_size) )
-  | Resnext { base_width; input_size; _ } ->
-      (max 1 (64 / base_width), max 1 (32 / input_size))
-  | Densenet { name; growth; input_size; num_classes; _ } ->
-      let real_growth = if name = "densenet161" then 48 else 32 in
-      ( max 1 (real_growth / growth),
-        max 1 ((if num_classes > 10 then 224 else 32) / input_size) )
-
-(* Build-time context threading the site counter, the chosen implementation
-   per site and the fixed (non-transformable) workload accumulator. *)
-type ctx = {
-  b : Builder.t;
-  rng : Rng.t;
-  impls_in : Conv_impl.t array option;
-  mutable sites_rev : Conv_impl.site list;
-  mutable used_rev : Conv_impl.t list;
-  mutable fixed_rev : Conv_impl.workload list;
-  mutable next_site : int;
-}
-
-let fresh_ctx b rng impls_in =
-  { b; rng; impls_in; sites_rev = []; used_rev = []; fixed_rev = []; next_site = 0 }
-
-let impl_for ctx site =
-  match ctx.impls_in with
-  | None -> Conv_impl.Full
-  | Some arr ->
-      let impl = arr.(site.Conv_impl.site_index) in
-      if not (Conv_impl.valid site impl) then
-        invalid_arg
-          (Printf.sprintf "invalid impl %s for site %s" (Conv_impl.to_string impl)
-             site.Conv_impl.site_label);
-      impl
-
-(* Appends a transformable site with its selected implementation. *)
-let site ctx ~label ~in_channels ~out_channels ~kernel ~stride ?(groups = 1)
-    ~spatial src =
-  let s =
-    { Conv_impl.site_index = ctx.next_site; in_channels; out_channels; kernel;
-      stride; groups; spatial_in = spatial; site_label = label }
-  in
-  ctx.next_site <- ctx.next_site + 1;
-  let impl = impl_for ctx s in
-  ctx.sites_rev <- s :: ctx.sites_rev;
-  ctx.used_rev <- impl :: ctx.used_rev;
-  Builder.realize_site ctx.b s impl src
-
-(* Appends a fixed (non-transformable) conv-bn[-relu] and records its
-   workload. *)
-let fixed ctx ~label ~in_channels ~out_channels ~kernel ~stride ?(groups = 1)
-    ?(relu = true) ~spatial src =
-  ctx.fixed_rev <-
-    { Conv_impl.w_in_channels = in_channels; w_out_channels = out_channels;
-      w_kernel = kernel; w_stride = stride; w_groups = groups; w_spatial = spatial;
-      w_label = label }
-    :: ctx.fixed_rev;
-  Builder.conv_bn_relu ctx.b ~label ~in_channels ~out_channels ~kernel ~stride
-    ~groups ~relu src
-
-let classifier ctx ~in_features ~num_classes src =
-  ctx.fixed_rev <-
-    { Conv_impl.w_in_channels = in_features; w_out_channels = num_classes;
-      w_kernel = 1; w_stride = 1; w_groups = 1; w_spatial = 1; w_label = "fc" }
-    :: ctx.fixed_rev;
-  let gap = Builder.add ctx.b ~label:"gap" Graph.Global_avg_pool [ src ] in
-  Builder.linear_layer ctx.b ~label:"fc" ~in_features ~out_features:num_classes gap
-
-(* --- ResNet (basic blocks) ------------------------------------------- *)
-
-let build_resnet ctx ~blocks ~base_width ~input_size ~num_classes ~stem_stride =
-  let b = ctx.b in
-  let inp = Builder.input b in
-  let spatial = ref input_size in
-  let cur =
-    ref
-      (fixed ctx ~label:"stem" ~in_channels:3 ~out_channels:base_width ~kernel:3
-         ~stride:stem_stride ~spatial:!spatial inp)
-  in
-  spatial := !spatial / stem_stride;
-  let channels = ref base_width in
-  Array.iteri
-    (fun stage n_blocks ->
-      let out_c = base_width * (1 lsl stage) in
-      for blk = 0 to n_blocks - 1 do
-        let stride = if stage > 0 && blk = 0 then 2 else 1 in
-        let in_c = !channels in
-        let label = Printf.sprintf "s%d.b%d" stage blk in
-        let c1 =
-          site ctx ~label:(label ^ ".conv1") ~in_channels:in_c ~out_channels:out_c
-            ~kernel:3 ~stride ~spatial:!spatial !cur
-        in
-        let post_spatial = !spatial / stride in
-        let c2 =
-          site ctx ~label:(label ^ ".conv2") ~in_channels:out_c ~out_channels:out_c
-            ~kernel:3 ~stride:1 ~spatial:post_spatial c1
-        in
-        let shortcut =
-          if stride = 1 && in_c = out_c then !cur
-          else
-            fixed ctx ~label:(label ^ ".down") ~in_channels:in_c ~out_channels:out_c
-              ~kernel:1 ~stride ~relu:false ~spatial:!spatial !cur
-        in
-        let sum = Builder.add b ~label:(label ^ ".add") Graph.Add [ c2; shortcut ] in
-        cur := Builder.add b ~label:(label ^ ".out") Graph.Relu [ sum ];
-        spatial := post_spatial;
-        channels := out_c
-      done)
-    blocks;
-  classifier ctx ~in_features:!channels ~num_classes !cur
-
-(* --- ResNeXt (aggregated bottleneck blocks) --------------------------- *)
-
-let build_resnext ctx ~blocks_per_stage ~cardinality ~base_width ~input_size
-    ~num_classes =
-  let b = ctx.b in
-  let inp = Builder.input b in
-  let spatial = ref input_size in
-  let cur =
-    ref
-      (fixed ctx ~label:"stem" ~in_channels:3 ~out_channels:base_width ~kernel:3
-         ~stride:1 ~spatial:!spatial inp)
-  in
-  let channels = ref base_width in
-  for stage = 0 to 2 do
-    let out_c = base_width * 4 * (1 lsl stage) in
-    let inner = out_c / 2 in
-    for blk = 0 to blocks_per_stage - 1 do
-      let stride = if stage > 0 && blk = 0 then 2 else 1 in
-      let in_c = !channels in
-      let label = Printf.sprintf "s%d.b%d" stage blk in
-      let reduce =
-        fixed ctx ~label:(label ^ ".reduce") ~in_channels:in_c ~out_channels:inner
-          ~kernel:1 ~stride:1 ~spatial:!spatial !cur
-      in
-      let grouped =
-        site ctx ~label:(label ^ ".conv3x3") ~in_channels:inner ~out_channels:inner
-          ~kernel:3 ~stride ~groups:cardinality ~spatial:!spatial reduce
-      in
-      let post_spatial = !spatial / stride in
-      let expand =
-        fixed ctx ~label:(label ^ ".expand") ~in_channels:inner ~out_channels:out_c
-          ~kernel:1 ~stride:1 ~relu:false ~spatial:post_spatial grouped
-      in
-      let shortcut =
-        if stride = 1 && in_c = out_c then !cur
-        else
-          fixed ctx ~label:(label ^ ".down") ~in_channels:in_c ~out_channels:out_c
-            ~kernel:1 ~stride ~relu:false ~spatial:!spatial !cur
-      in
-      let sum = Builder.add b ~label:(label ^ ".add") Graph.Add [ expand; shortcut ] in
-      cur := Builder.add b ~label:(label ^ ".out") Graph.Relu [ sum ];
-      spatial := post_spatial;
-      channels := out_c
-    done
-  done;
-  classifier ctx ~in_features:!channels ~num_classes !cur
-
-(* --- DenseNet-BC ------------------------------------------------------ *)
-
-let build_densenet ctx ~blocks ~growth ~input_size ~num_classes =
-  let b = ctx.b in
-  let inp = Builder.input b in
-  let spatial = ref input_size in
-  let cur =
-    ref
-      (fixed ctx ~label:"stem" ~in_channels:3 ~out_channels:(2 * growth) ~kernel:3
-         ~stride:1 ~spatial:!spatial inp)
-  in
-  let channels = ref (2 * growth) in
-  let n_dense_blocks = Array.length blocks in
-  Array.iteri
-    (fun bi n_layers ->
-      for li = 0 to n_layers - 1 do
-        let label = Printf.sprintf "d%d.l%d" bi li in
-        let c = !channels in
-        let mid = 4 * growth in
-        let reduce =
-          site ctx ~label:(label ^ ".conv1x1") ~in_channels:c ~out_channels:mid
-            ~kernel:1 ~stride:1 ~spatial:!spatial !cur
-        in
-        let grown =
-          site ctx ~label:(label ^ ".conv3x3") ~in_channels:mid ~out_channels:growth
-            ~kernel:3 ~stride:1 ~spatial:!spatial reduce
-        in
-        cur := Builder.add b ~label:(label ^ ".cat") Graph.Concat [ !cur; grown ];
-        channels := c + growth
-      done;
-      if bi < n_dense_blocks - 1 then begin
-        let c = !channels in
-        let half = c / 2 in
-        let trans =
-          fixed ctx
-            ~label:(Printf.sprintf "t%d.conv" bi)
-            ~in_channels:c ~out_channels:half ~kernel:1 ~stride:1 ~spatial:!spatial
-            !cur
-        in
-        cur :=
-          Builder.add b
-            ~label:(Printf.sprintf "t%d.pool" bi)
-            (Graph.Avg_pool { size = 2; stride = 2; pad = 0 })
-            [ trans ];
-        channels := half;
-        spatial := !spatial / 2
-      end)
-    blocks;
-  classifier ctx ~in_features:!channels ~num_classes !cur
+let cost_mults = Block.cost_mults
 
 (* --- Assembly --------------------------------------------------------- *)
 
 let build ?impls config rng =
   let b = Builder.create rng in
-  let ctx = fresh_ctx b rng impls in
-  let output =
-    match config with
-    | Resnet { blocks; base_width; input_size; num_classes; stem_stride; _ } ->
-        build_resnet ctx ~blocks ~base_width ~input_size ~num_classes ~stem_stride
-    | Resnext { blocks_per_stage; cardinality; base_width; input_size; num_classes; _ }
-      ->
-        build_resnext ctx ~blocks_per_stage ~cardinality ~base_width ~input_size
-          ~num_classes
-    | Densenet { blocks; growth; input_size; num_classes; _ } ->
-        build_densenet ctx ~blocks ~growth ~input_size ~num_classes
-  in
+  let ctx = Block.fresh_ctx ?impls b in
+  let output = Block.emit ctx config in
   let graph = Builder.finish b ~output in
-  let sites = Array.of_list (List.rev ctx.sites_rev) in
+  let sites = Block.ctx_sites ctx in
   (match impls with
   | None -> ()
   | Some arr ->
@@ -279,29 +34,16 @@ let build ?impls config rng =
         invalid_arg
           (Printf.sprintf "build %s: expected %d impls, got %d" (config_name config)
              (Array.length sites) (Array.length arr)));
-  let input_size =
-    match config with
-    | Resnet { input_size; _ } | Resnext { input_size; _ } | Densenet { input_size; _ }
-      ->
-        input_size
-  in
-  let num_classes =
-    match config with
-    | Resnet { num_classes; _ }
-    | Resnext { num_classes; _ }
-    | Densenet { num_classes; _ } ->
-        num_classes
-  in
   let cost_mult_c, cost_mult_s = cost_mults config in
   { config;
     name = config_name config;
     graph;
     sites;
-    impls = Array.of_list (List.rev ctx.used_rev);
+    impls = Block.ctx_impls ctx;
     fisher_node_ids = Array.of_list (Builder.fisher_nodes b);
-    fixed_workloads = List.rev ctx.fixed_rev;
-    num_classes;
-    input_size;
+    fixed_workloads = Block.ctx_fixed ctx;
+    num_classes = config.Block.sp_num_classes;
+    input_size = config.Block.sp_input_size;
     input_channels = 3;
     cost_mult_c;
     cost_mult_s }
@@ -357,52 +99,74 @@ let conv_params t =
         / w.w_groups))
     0 (all_workloads t)
 
-(* --- Presets ----------------------------------------------------------
+(* --- Structural digest ------------------------------------------------- *)
 
-   Scaled-down variants: block structure and channel progressions match the
-   originals; widths and spatial extents are divided so that Fisher passes
-   and SGD training run in seconds on one core. *)
+(* Canonical fingerprint of a built model: one line per node (id, operator
+   with its static parameters and weight shape, inputs, label) followed by
+   one line per parameter (name, value sum, squared norm).  Dilation is only
+   printed when it differs from 1 so that digests of pre-dilation builds are
+   preserved verbatim. *)
+let graph_digest (m : t) =
+  let b = Buffer.create 4096 in
+  let g = m.graph in
+  let shape_str t =
+    String.concat "x" (Array.to_list (Array.map string_of_int (Tensor.shape t)))
+  in
+  for i = 0 to Graph.node_count g - 1 do
+    let n = Graph.node g i in
+    let op_desc =
+      match n.Graph.op with
+      | Graph.Input -> "input"
+      | Graph.Conv c ->
+          Printf.sprintf "conv[s%d,p%d,g%d%s,w%s]" c.Layer.cv_stride c.cv_pad
+            c.cv_groups
+            (if c.cv_dilation = 1 then ""
+             else Printf.sprintf ",d%d" c.cv_dilation)
+            (shape_str c.cv_w.Layer.p_value)
+      | Graph.Batch_norm bn ->
+          Printf.sprintf "bn[%d]" (Tensor.numel bn.Layer.bn_gamma.Layer.p_value)
+      | Graph.Relu -> "relu"
+      | Graph.Max_pool { size; stride; pad } ->
+          Printf.sprintf "maxpool[%d,%d,%d]" size stride pad
+      | Graph.Avg_pool { size; stride; pad } ->
+          Printf.sprintf "avgpool[%d,%d,%d]" size stride pad
+      | Graph.Global_avg_pool -> "gap"
+      | Graph.Linear l ->
+          Printf.sprintf "linear[w%s]" (shape_str l.Layer.ln_w.Layer.p_value)
+      | Graph.Add -> "add"
+      | Graph.Concat -> "concat"
+      | Graph.Identity -> "identity"
+      | Graph.Zero -> "zero"
+      | Graph.Upsample f -> Printf.sprintf "upsample[%d]" f
+      | Graph.Sigmoid -> "sigmoid"
+      | Graph.Scale_channels -> "scalech"
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%d|%s|%s|%s\n" n.Graph.id op_desc
+         (String.concat "," (List.map string_of_int n.Graph.inputs))
+         n.Graph.label)
+  done;
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "%s|%.12e|%.12e\n" p.Layer.p_name
+           (Tensor.sum p.Layer.p_value)
+           (Tensor.sq_norm p.Layer.p_value)))
+    (Graph.params g);
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
-type scale = [ `Search | `Train | `Imagenet ]
+(* --- Presets ----------------------------------------------------------- *)
 
-let resnet_cfg name blocks scale =
-  match scale with
-  | `Search ->
-      Resnet { name; blocks; base_width = 8; input_size = 16; num_classes = 10;
-               stem_stride = 1 }
-  | `Train ->
-      Resnet { name; blocks; base_width = 8; input_size = 8; num_classes = 10;
-               stem_stride = 1 }
-  | `Imagenet ->
-      Resnet { name; blocks; base_width = 8; input_size = 32; num_classes = 20;
-               stem_stride = 2 }
+type scale = Block.scale
 
-let resnet18 ?(scale = `Search) () = resnet_cfg "resnet18" [| 2; 2; 2; 2 |] scale
-let resnet34 ?(scale = `Search) () = resnet_cfg "resnet34" [| 3; 4; 6; 3 |] scale
+let of_zoo name scale =
+  match Zoo.spec ~scale name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "unknown zoo entry %s" name)
 
-let resnext29 ?(scale = `Search) () =
-  match scale with
-  | `Search ->
-      Resnext { name = "resnext29"; blocks_per_stage = 3; cardinality = 2;
-                base_width = 8; input_size = 16; num_classes = 10 }
-  | `Train ->
-      Resnext { name = "resnext29"; blocks_per_stage = 3; cardinality = 2;
-                base_width = 8; input_size = 8; num_classes = 10 }
-  | `Imagenet ->
-      Resnext { name = "resnext29"; blocks_per_stage = 3; cardinality = 2;
-                base_width = 8; input_size = 32; num_classes = 20 }
-
-let densenet_cfg name blocks growth scale =
-  match scale with
-  | `Search -> Densenet { name; blocks; growth; input_size = 16; num_classes = 10 }
-  | `Train -> Densenet { name; blocks; growth; input_size = 8; num_classes = 10 }
-  | `Imagenet -> Densenet { name; blocks; growth; input_size = 32; num_classes = 20 }
-
-let densenet161 ?(scale = `Search) () =
-  densenet_cfg "densenet161" [| 3; 6; 12; 8 |] 8 scale
-
-let densenet169 ?(scale = `Search) () =
-  densenet_cfg "densenet169" [| 3; 6; 8; 8 |] 6 scale
-
-let densenet201 ?(scale = `Search) () =
-  densenet_cfg "densenet201" [| 3; 6; 12; 8 |] 6 scale
+let resnet18 ?(scale = `Search) () = of_zoo "resnet18" scale
+let resnet34 ?(scale = `Search) () = of_zoo "resnet34" scale
+let resnext29 ?(scale = `Search) () = of_zoo "resnext29" scale
+let densenet161 ?(scale = `Search) () = of_zoo "densenet161" scale
+let densenet169 ?(scale = `Search) () = of_zoo "densenet169" scale
+let densenet201 ?(scale = `Search) () = of_zoo "densenet201" scale

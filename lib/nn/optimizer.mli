@@ -5,9 +5,13 @@ type t
 
 val sgd :
   ?momentum:float -> ?weight_decay:float -> lr:float -> Layer.param list -> t
+(** [sgd ~lr params] with momentum 0.9 and weight decay 5e-4 by default. *)
 
 val set_lr : t -> float -> unit
+(** Overrides the learning rate (the step-decay schedule uses this). *)
+
 val lr : t -> float
+(** Current learning rate. *)
 
 val step : t -> unit
 (** Applies one update from the accumulated gradients, then leaves the

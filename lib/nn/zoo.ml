@@ -1,0 +1,147 @@
+type snapshot = { zs_sites : int; zs_macs : int; zs_nodes : int; zs_digest : string }
+
+type entry = {
+  ze_name : string;
+  ze_family : string;
+  ze_doc : string;
+  ze_paper : bool;
+  ze_spec : Block.scale -> Block.spec;
+  ze_snapshot : snapshot option;
+}
+
+(* Scaled-down dimensions shared by every family: block structure and
+   channel progressions match the originals; widths and spatial extents are
+   divided so that Fisher passes and SGD training run in seconds on one
+   core. *)
+let scale_dims = function
+  | `Search -> (16, 10)
+  | `Train -> (8, 10)
+  | `Imagenet -> (32, 20)
+
+let residual ~name ~blocks ?(width_mult = 1) ?(expansion = 1) ?(kind = Block.Basic)
+    ?(attention = Block.No_attention) ?(dilation = 1) ?(drop_path = 0.0)
+    ?(stem_stride = fun _ -> 1) ~paper_width ?(paper_input = fun _ -> 32) () scale =
+  let input_size, num_classes = scale_dims scale in
+  { Block.sp_name = name;
+    sp_family =
+      Block.Residual
+        { Block.rs_blocks = blocks; rs_base_width = 8; rs_width_mult = width_mult;
+          rs_expansion = expansion; rs_kind = kind; rs_attention = attention;
+          rs_stem_kernel = 3; rs_stem_stride = stem_stride scale;
+          rs_dilation = dilation; rs_drop_path = drop_path };
+    sp_input_size = input_size;
+    sp_num_classes = num_classes;
+    sp_paper_width = paper_width;
+    sp_paper_input = paper_input scale }
+
+let imagenet_values ~cifar ~imagenet = function
+  | `Imagenet -> imagenet
+  | `Search | `Train -> cifar
+
+let resnet name blocks =
+  residual ~name ~blocks ~paper_width:64
+    ~stem_stride:(imagenet_values ~cifar:1 ~imagenet:2)
+    ~paper_input:(imagenet_values ~cifar:32 ~imagenet:224)
+    ()
+
+let resnext name ~cardinality =
+  residual ~name ~blocks:[| 3; 3; 3 |] ~expansion:4
+    ~kind:(Block.Aggregated { cardinality; reduce_num = 1; reduce_den = 2 })
+    ~paper_width:64 ()
+
+let densenet name blocks ~growth ~paper_growth scale =
+  let input_size, num_classes = scale_dims scale in
+  { Block.sp_name = name;
+    sp_family = Block.Dense { Block.dn_blocks = blocks; dn_growth = growth };
+    sp_input_size = input_size;
+    sp_num_classes = num_classes;
+    sp_paper_width = paper_growth;
+    sp_paper_input = imagenet_values ~cifar:32 ~imagenet:224 scale }
+
+let snap zs_sites zs_macs zs_nodes zs_digest =
+  Some { zs_sites; zs_macs; zs_nodes; zs_digest }
+
+let all =
+  [ { ze_name = "resnet18";
+      ze_family = "resnet";
+      ze_doc = "ResNet-18: basic residual blocks, stages [2;2;2;2]";
+      ze_paper = true;
+      ze_spec = resnet "resnet18" [| 2; 2; 2; 2 |];
+      ze_snapshot = snap 16 2218624 76 "07439b892cb62769d072e1bee72185c3" };
+    { ze_name = "resnet34";
+      ze_family = "resnet";
+      ze_doc = "ResNet-34: basic residual blocks, stages [3;4;6;3]";
+      ze_paper = true;
+      ze_spec = resnet "resnet34" [| 3; 4; 6; 3 |];
+      ze_snapshot = snap 32 4577920 140 "b76a7231a11b5754b66e079325560b28" };
+    { ze_name = "resnext29";
+      ze_family = "resnext";
+      ze_doc = "ResNeXt-29: aggregated bottlenecks, cardinality 2";
+      ze_paper = true;
+      ze_spec = resnext "resnext29" ~cardinality:2;
+      ze_snapshot = snap 9 5561600 102 "0f357d592289bbb7165d3c8281e17130" };
+    { ze_name = "densenet161";
+      ze_family = "densenet";
+      ze_doc = "DenseNet-161 (BC): growth 48 at paper scale";
+      ze_paper = true;
+      ze_spec = densenet "densenet161" [| 3; 6; 12; 8 |] ~growth:8 ~paper_growth:48;
+      ze_snapshot = snap 58 5425962 221 "04c75c8969a5ca6c2e88c4ae4c105a83" };
+    { ze_name = "densenet169";
+      ze_family = "densenet";
+      ze_doc = "DenseNet-169 (BC): growth 32 at paper scale";
+      ze_paper = true;
+      ze_spec = densenet "densenet169" [| 3; 6; 8; 8 |] ~growth:6 ~paper_growth:32;
+      ze_snapshot = snap 50 2816328 193 "7bbbbbb9dc4b7e7eab8123f8be334766" };
+    { ze_name = "densenet201";
+      ze_family = "densenet";
+      ze_doc = "DenseNet-201 (BC): growth 32 at paper scale";
+      ze_paper = true;
+      ze_spec = densenet "densenet201" [| 3; 6; 12; 8 |] ~growth:6 ~paper_growth:32;
+      ze_snapshot = snap 58 3067008 221 "c35cffbbdc91c3a446d45c2a3ff4bb02" };
+    { ze_name = "wideresnet16_4";
+      ze_family = "wideresnet";
+      ze_doc = "WideResNet-16-4: basic blocks widened 4x, stages [2;2;2]";
+      ze_paper = false;
+      ze_spec =
+        residual ~name:"wideresnet16_4" ~blocks:[| 2; 2; 2 |] ~width_mult:4
+          ~paper_width:16 ();
+      ze_snapshot = snap 12 24567040 60 "a5af001d3e62d9afb6435351b50daff9" };
+    { ze_name = "mobilenet_small";
+      ze_family = "mobilenet";
+      ze_doc = "MobileNet-style: inverted depthwise residuals, expansion 4";
+      ze_paper = false;
+      ze_spec =
+        residual ~name:"mobilenet_small" ~blocks:[| 1; 2; 2 |]
+          ~kind:(Block.Inverted { expand_ratio = 4 })
+          ~paper_width:32 ();
+      ze_snapshot = snap 10 802112 54 "8a395ec2fd0579ab23e8fe432a1432f2" };
+    { ze_name = "resnext29_c4";
+      ze_family = "resnext";
+      ze_doc = "ResNeXt-29 variant: aggregated bottlenecks, cardinality 4";
+      ze_paper = false;
+      ze_spec = resnext "resnext29_c4" ~cardinality:4;
+      ze_snapshot = snap 9 4234496 102 "09628cb8d37501f61bcee2d38f5895a4" };
+    { ze_name = "se_resnet14";
+      ze_family = "se-resnet";
+      ze_doc = "SE-ResNet-14: basic blocks with squeeze-excite gates (r=4)";
+      ze_paper = false;
+      ze_spec =
+        residual ~name:"se_resnet14" ~blocks:[| 2; 2; 2 |]
+          ~attention:(Block.Squeeze_excite { se_ratio = 4 })
+          ~paper_width:64 ();
+      ze_snapshot = snap 12 1695360 94 "c1250ebeb50dba05de201b9693506629" };
+    { ze_name = "resnet14_dil2";
+      ze_family = "resnet";
+      ze_doc = "Dilated ResNet-14: final stage uses fixed dilation-2 convs";
+      ze_paper = false;
+      ze_spec =
+        residual ~name:"resnet14_dil2" ~blocks:[| 2; 2; 2 |] ~dilation:2
+          ~paper_width:64 ();
+      ze_snapshot = snap 8 1694016 58 "28be80eb7969ce4758ce3b529f38d6ac" } ]
+
+let names = List.map (fun e -> e.ze_name) all
+let names_doc = String.concat ", " names
+let find name = List.find_opt (fun e -> e.ze_name = name) all
+
+let spec ?(scale = `Search) name =
+  Option.map (fun e -> e.ze_spec scale) (find name)

@@ -1,0 +1,46 @@
+(** The family registry: the single source of truth for which networks
+    exist.
+
+    Every model the CLI, the serving daemon, the experiments and the
+    benchmarks can name is an {!entry} here, mapping a name to a
+    {!Block.spec} per {!Block.scale}.  Paper presets carry a recorded
+    structural snapshot (site count, MACs, node count, graph digest at
+    [`Search] scale, build seed 42) so refactors of the block algebra are
+    pinned to bit-identical graphs by the [@zoo] alias and the registry
+    tests. *)
+
+type snapshot = {
+  zs_sites : int;  (** transformable site count at [`Search] scale *)
+  zs_macs : int;  (** total MACs of one inference at [`Search] scale *)
+  zs_nodes : int;  (** graph node count at [`Search] scale *)
+  zs_digest : string;
+      (** {!Models.graph_digest} of the [`Search]-scale build at seed 42 *)
+}
+(** Recorded structure of a registered preset, asserted by tests and the
+    [@zoo] alias to catch drift. *)
+
+type entry = {
+  ze_name : string;  (** the name accepted by [--network] and the protocol *)
+  ze_family : string;  (** family tag: ["resnet"], ["densenet"], ... *)
+  ze_doc : string;  (** one-line description used for generated docs *)
+  ze_paper : bool;  (** one of the six presets the paper evaluates *)
+  ze_spec : Block.scale -> Block.spec;  (** the spec at a given scale *)
+  ze_snapshot : snapshot option;  (** recorded structure, when pinned *)
+}
+
+val all : entry list
+(** Every registered family, in presentation order (paper presets first). *)
+
+val names : string list
+(** The names of {!all}, in the same order. *)
+
+val names_doc : string
+(** The registry's names joined with [", "], for error messages listing the
+    valid networks. *)
+
+val find : string -> entry option
+(** Looks a network up by name. *)
+
+val spec : ?scale:Block.scale -> string -> Block.spec option
+(** The spec of a registered network at [scale] (default [`Search]), or
+    [None] for unknown names. *)

@@ -189,6 +189,10 @@ let request ?(network = "resnet18") ?(device = "CPU") ?(candidates = 40)
 type msg = Search of request | Ping | Stats | Shutdown
 
 let validated rq =
+  (* The registry is the single source of servable networks; a typo'd name
+     is a parse-time error listing the valid ones, same as the CLI. *)
+  if Zoo.find rq.rq_network = None then
+    parse_error "unknown network %s (valid: %s)" rq.rq_network Zoo.names_doc;
   if rq.rq_candidates < 1 then parse_error "candidates must be >= 1";
   if rq.rq_workers < 1 then parse_error "workers must be >= 1";
   if rq.rq_fault_rate < 0.0 || rq.rq_fault_rate > 1.0 then

@@ -19,7 +19,9 @@
 
 type request = {
   rq_id : string;  (** client-chosen correlation id, echoed in responses *)
-  rq_network : string;  (** model-zoo name, e.g. ["resnet18"] *)
+  rq_network : string;
+      (** model-zoo name, e.g. ["resnet18"]; must be registered in {!Zoo}
+          (parsing rejects unknown names, listing the registry) *)
   rq_device : string;  (** device short name, e.g. ["CPU"] *)
   rq_candidates : int;  (** candidate pool size *)
   rq_seed : int;  (** search seed; equal seeds give bit-identical results *)

@@ -75,14 +75,9 @@ let fault_key ~id ~attempt = (request_seed id * 31) + attempt
 
 let workload_key (rq : Protocol.request) = rq.rq_network ^ "|" ^ rq.rq_device
 
-let network_of_name = function
-  | "resnet18" -> Some (Models.resnet18 ())
-  | "resnet34" -> Some (Models.resnet34 ())
-  | "resnext29" -> Some (Models.resnext29 ())
-  | "densenet161" -> Some (Models.densenet161 ())
-  | "densenet169" -> Some (Models.densenet169 ())
-  | "densenet201" -> Some (Models.densenet201 ())
-  | _ -> None
+(* Served networks are exactly the zoo registry, same as the CLI. *)
+let network_of_name name =
+  Option.map (fun e -> e.Zoo.ze_spec `Search) (Zoo.find name)
 
 (* --- locked helpers ----------------------------------------------------- *)
 
@@ -238,7 +233,8 @@ let run_session t (rq : Protocol.request) ~deadline =
       Protocol.Error_resp
         { er_id = rq.rq_id;
           er_class = "bad-request";
-          er_message = "unknown network " ^ rq.rq_network }
+          er_message =
+            "unknown network " ^ rq.rq_network ^ " (valid: " ^ Zoo.names_doc ^ ")" }
   | _, None ->
       Protocol.Error_resp
         { er_id = rq.rq_id;

@@ -1,6 +1,7 @@
-type conv_params = { stride : int; pad : int; groups : int }
+type conv_params = { stride : int; pad : int; groups : int; dilation : int }
 
-let conv_out_dim d ~k ~stride ~pad = ((d + (2 * pad) - k) / stride) + 1
+let conv_out_dim ?(dilation = 1) d ~k ~stride ~pad =
+  ((d + (2 * pad) - (dilation * (k - 1)) - 1) / stride) + 1
 
 (* The convolution kernels are the hot path of the whole project (training,
    Fisher passes and NAS-bench evaluation all funnel through them), so they
@@ -10,11 +11,12 @@ let conv2d ~input ~weight ~bias params =
   let ishape = Tensor.shape input and wshape = Tensor.shape weight in
   let n = ishape.(0) and ci = ishape.(1) and h = ishape.(2) and w = ishape.(3) in
   let co = wshape.(0) and cig = wshape.(1) and kh = wshape.(2) and kw = wshape.(3) in
-  let { stride; pad; groups } = params in
+  let { stride; pad; groups; dilation } = params in
   assert (ci mod groups = 0 && co mod groups = 0);
   assert (cig = ci / groups);
-  let ho = conv_out_dim h ~k:kh ~stride ~pad in
-  let wo = conv_out_dim w ~k:kw ~stride ~pad in
+  assert (dilation >= 1);
+  let ho = conv_out_dim h ~k:kh ~stride ~pad ~dilation in
+  let wo = conv_out_dim w ~k:kw ~stride ~pad ~dilation in
   assert (ho > 0 && wo > 0);
   let output = Tensor.zeros [| n; co; ho; wo |] in
   let id = Tensor.data input and wd = Tensor.data weight and od = Tensor.data output in
@@ -35,12 +37,12 @@ let conv2d ~input ~weight ~bias params =
               let wv = Array.unsafe_get wd (wbase_kh + kwi) in
               if wv <> 0.0 then
                 for hoi = 0 to ho - 1 do
-                  let hi = (hoi * stride) + khi - pad in
+                  let hi = (hoi * stride) + (khi * dilation) - pad in
                   if hi >= 0 && hi < h then begin
                     let irow = ibase_ci + (hi * w) in
                     let orow = obase_co + (hoi * wo) in
                     for woi = 0 to wo - 1 do
-                      let wi = (woi * stride) + kwi - pad in
+                      let wi = (woi * stride) + (kwi * dilation) - pad in
                       if wi >= 0 && wi < w then
                         Array.unsafe_set od (orow + woi)
                           (Array.unsafe_get od (orow + woi)
@@ -75,7 +77,7 @@ let conv2d_backward ~input ~weight ~gout params =
   let ishape = Tensor.shape input and wshape = Tensor.shape weight in
   let n = ishape.(0) and ci = ishape.(1) and h = ishape.(2) and w = ishape.(3) in
   let co = wshape.(0) and cig = wshape.(1) and kh = wshape.(2) and kw = wshape.(3) in
-  let { stride; pad; groups } = params in
+  let { stride; pad; groups; dilation } = params in
   let oshape = Tensor.shape gout in
   let ho = oshape.(2) and wo = oshape.(3) in
   let ginput = Tensor.zeros ishape in
@@ -111,12 +113,12 @@ let conv2d_backward ~input ~weight ~gout params =
               let wv = Array.unsafe_get wd widx in
               let wacc = ref 0.0 in
               for hoi = 0 to ho - 1 do
-                let hi = (hoi * stride) + khi - pad in
+                let hi = (hoi * stride) + (khi * dilation) - pad in
                 if hi >= 0 && hi < h then begin
                   let irow = ibase_ci + (hi * w) in
                   let orow = obase_co + (hoi * wo) in
                   for woi = 0 to wo - 1 do
-                    let wi = (woi * stride) + kwi - pad in
+                    let wi = (woi * stride) + (kwi * dilation) - pad in
                     if wi >= 0 && wi < w then begin
                       let gov = Array.unsafe_get god (orow + woi) in
                       wacc := !wacc +. (gov *. Array.unsafe_get id (irow + wi));
@@ -139,6 +141,52 @@ let relu t = Tensor.map (fun x -> if x > 0.0 then x else 0.0) t
 
 let relu_backward ~input ~gout =
   Tensor.map2 (fun x g -> if x > 0.0 then g else 0.0) input gout
+
+let sigmoid t = Tensor.map (fun x -> 1.0 /. (1.0 +. exp (-.x))) t
+
+let sigmoid_backward ~out ~gout =
+  Tensor.map2 (fun o g -> g *. o *. (1.0 -. o)) out gout
+
+let scale_channels ~input ~gate =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let gs = Tensor.shape gate in
+  assert (Array.length gs = 2 && gs.(0) = n && gs.(1) = c);
+  let out = Tensor.zeros s in
+  let id = Tensor.data input and gd = Tensor.data gate and od = Tensor.data out in
+  let plane = h * w in
+  for nc = 0 to (n * c) - 1 do
+    let g = gd.(nc) in
+    let base = nc * plane in
+    for i = 0 to plane - 1 do
+      Array.unsafe_set od (base + i) (Array.unsafe_get id (base + i) *. g)
+    done
+  done;
+  out
+
+let scale_channels_backward ~input ~gate ~gout =
+  let s = Tensor.shape input in
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let ginput = Tensor.zeros s in
+  let ggate = Tensor.zeros [| n; c |] in
+  let id = Tensor.data input
+  and gd = Tensor.data gate
+  and god = Tensor.data gout
+  and gid = Tensor.data ginput
+  and ggd = Tensor.data ggate in
+  let plane = h * w in
+  for nc = 0 to (n * c) - 1 do
+    let g = gd.(nc) in
+    let base = nc * plane in
+    let acc = ref 0.0 in
+    for i = 0 to plane - 1 do
+      let go = Array.unsafe_get god (base + i) in
+      Array.unsafe_set gid (base + i) (go *. g);
+      acc := !acc +. (go *. Array.unsafe_get id (base + i))
+    done;
+    ggd.(nc) <- !acc
+  done;
+  (ginput, ggate)
 
 let max_pool2d t ~size ~stride ~pad =
   let s = Tensor.shape t in

@@ -9,16 +9,17 @@ type conv_params = {
   stride : int;
   pad : int;
   groups : int;
+  dilation : int;  (** spacing between kernel taps; 1 is a dense kernel *)
 }
 
-val conv_out_dim : int -> k:int -> stride:int -> pad:int -> int
-(** Spatial output extent of a convolution. *)
+val conv_out_dim : ?dilation:int -> int -> k:int -> stride:int -> pad:int -> int
+(** Spatial output extent of a convolution ([dilation] defaults to 1). *)
 
 val conv2d :
   input:Tensor.t -> weight:Tensor.t -> bias:Tensor.t option -> conv_params -> Tensor.t
-(** [conv2d ~input ~weight ~bias p] computes a (possibly grouped) 2-D
-    convolution.  Input [N;Ci;H;W], weight [Co;Ci/g;Kh;Kw], output
-    [N;Co;Ho;Wo].  [Ci] and [Co] must be divisible by [p.groups]. *)
+(** [conv2d ~input ~weight ~bias p] computes a (possibly grouped, possibly
+    dilated) 2-D convolution.  Input [N;Ci;H;W], weight [Co;Ci/g;Kh;Kw],
+    output [N;Co;Ho;Wo].  [Ci] and [Co] must be divisible by [p.groups]. *)
 
 val conv2d_backward :
   input:Tensor.t ->
@@ -29,7 +30,27 @@ val conv2d_backward :
 (** Gradients (w.r.t. input, weight, bias) of {!conv2d}. *)
 
 val relu : Tensor.t -> Tensor.t
+(** Elementwise max(x, 0). *)
+
 val relu_backward : input:Tensor.t -> gout:Tensor.t -> Tensor.t
+(** Gradient of {!relu} w.r.t. its input. *)
+
+val sigmoid : Tensor.t -> Tensor.t
+(** Elementwise logistic function, used by squeeze-excite gates. *)
+
+val sigmoid_backward : out:Tensor.t -> gout:Tensor.t -> Tensor.t
+(** Gradient of {!sigmoid} w.r.t. its input, computed from the forward
+    output ([g * out * (1 - out)]). *)
+
+val scale_channels : input:Tensor.t -> gate:Tensor.t -> Tensor.t
+(** [scale_channels ~input ~gate] multiplies every spatial plane of the NCHW
+    [input] by the matching per-channel gate value ([gate] is [N;C]).  This
+    is the broadcast product a squeeze-excite block applies. *)
+
+val scale_channels_backward :
+  input:Tensor.t -> gate:Tensor.t -> gout:Tensor.t -> Tensor.t * Tensor.t
+(** Gradients of {!scale_channels} (w.r.t. input and gate); the gate
+    gradient sums [gout * input] over each spatial plane. *)
 
 val max_pool2d : Tensor.t -> size:int -> stride:int -> pad:int -> Tensor.t * int array
 (** Returns the pooled tensor and the flat argmax index of each output cell

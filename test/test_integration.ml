@@ -31,7 +31,7 @@ let t_sequences_execute () =
         Ops.conv2d
           ~input:(Tensor.reshape input [| 1; ci; hw; hw |])
           ~weight ~bias:None
-          { Ops.stride = 1; pad; groups = 2 }
+          { Ops.stride = 1; pad; groups = 2; dilation = 1 }
       in
       Alcotest.(check bool) "seq2 == grouped conv" true
         (Tensor.approx_equal ~tol:1e-4

@@ -29,7 +29,7 @@ let reference nest ~weight ~input ~pad ~groups =
     Ops.conv2d
       ~input:(Tensor.reshape input [| 1; nest.Loop_nest.nc_ci; (Tensor.shape input).(1); (Tensor.shape input).(2) |])
       ~weight ~bias:None
-      { Ops.stride = nest.nc_stride; pad; groups }
+      { Ops.stride = nest.nc_stride; pad; groups; dilation = 1 }
   in
   let s = Tensor.shape out in
   Tensor.reshape out [| s.(1); s.(2); s.(3) |]

@@ -83,7 +83,7 @@ let conv_case ~n ~ci ~co ~hw ~k ~stride ~pad ~groups () =
   let r = rng () in
   let input = Tensor.rand_normal r [| n; ci; hw; hw |] ~mean:0.0 ~std:1.0 in
   let weight = Tensor.rand_normal r [| co; ci / groups; k; k |] ~mean:0.0 ~std:1.0 in
-  let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups } in
+  let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups; dilation = 1 } in
   let slow = naive_conv ~input ~weight ~stride ~pad ~groups in
   Alcotest.(check bool)
     (Printf.sprintf "conv n%d ci%d co%d k%d s%d p%d g%d" n ci co k stride pad groups)
@@ -96,10 +96,10 @@ let t_conv_bias () =
   let weight = Tensor.rand_normal r [| 3; 2; 1; 1 |] ~mean:0.0 ~std:1.0 in
   let bias = Tensor.of_array [| 3 |] [| 1.0; 2.0; 3.0 |] in
   let with_bias =
-    Ops.conv2d ~input ~weight ~bias:(Some bias) { Ops.stride = 1; pad = 0; groups = 1 }
+    Ops.conv2d ~input ~weight ~bias:(Some bias) { Ops.stride = 1; pad = 0; groups = 1; dilation = 1 }
   in
   let without =
-    Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 0; groups = 1 }
+    Ops.conv2d ~input ~weight ~bias:None { Ops.stride = 1; pad = 0; groups = 1; dilation = 1 }
   in
   check_close "bias added" 2.0
     (Tensor.get with_bias [| 0; 1; 0; 0 |] -. Tensor.get without [| 0; 1; 0; 0 |])
@@ -126,7 +126,7 @@ let t_conv_backward () =
   let r = rng () in
   let input = Tensor.rand_normal r [| 2; 4; 5; 5 |] ~mean:0.0 ~std:1.0 in
   let weight = Tensor.rand_normal r [| 6; 2; 3; 3 |] ~mean:0.0 ~std:0.5 in
-  let params = { Ops.stride = 2; pad = 1; groups = 2 } in
+  let params = { Ops.stride = 2; pad = 1; groups = 2; dilation = 1 } in
   (* Loss = weighted sum of outputs with fixed coefficients. *)
   let coeffs = Tensor.rand_normal r [| 2; 6; 3; 3 |] ~mean:0.0 ~std:1.0 in
   let loss () = Tensor.sum (Tensor.mul (Ops.conv2d ~input ~weight ~bias:None params) coeffs) in
@@ -292,7 +292,7 @@ let qcheck_tests =
         let r = Rng.create (n + (100 * ci) + (17 * hw)) in
         let input = Tensor.rand_normal r [| n; ci; hw; hw |] ~mean:0.0 ~std:1.0 in
         let weight = Tensor.rand_normal r [| co; cig; k; k |] ~mean:0.0 ~std:1.0 in
-        let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups } in
+        let fast = Ops.conv2d ~input ~weight ~bias:None { Ops.stride; pad; groups; dilation = 1 } in
         let slow = naive_conv ~input ~weight ~stride ~pad ~groups in
         Tensor.approx_equal ~tol:1e-4 fast slow);
     Test.make ~name:"softmax-ce loss is non-negative" ~count:50
