@@ -85,6 +85,20 @@ let workers_arg =
   in
   Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc)
 
+let schedule_arg =
+  let doc =
+    "How parallel workers claim candidates: $(b,dynamic) (idle domains pull \
+     the next unclaimed index — skewed candidate costs rebalance \
+     automatically) or $(b,static) (fixed contiguous chunks).  Results are \
+     bit-identical either way; only wall-clock differs.  Ignored when \
+     --workers is 1.  See PERFORMANCE.md."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("dynamic", Parallel_eval.Dynamic); ("static", Parallel_eval.Static) ])
+        Parallel_eval.Dynamic
+    & info [ "schedule" ] ~docv:"SCHED" ~doc)
+
 let cache_cap_arg =
   let doc =
     "Capacity of the workload-cost memo cache (FIFO eviction; default 8192)."
@@ -190,8 +204,8 @@ let analyze_model ppf model plan_spec =
 
 let search_cmd =
   let run network device candidates seed resilient fault_rate fault_seed checkpoint
-      checkpoint_every budget workers cache_cap trace metrics static_filter analyze
-      plan =
+      checkpoint_every budget workers schedule cache_cap trace metrics static_filter
+      analyze plan =
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
@@ -225,13 +239,15 @@ let search_cmd =
     Format.fprintf ppf "unified search: %s on %s, %d candidates@." model.Models.name
       dev.Device.dev_name candidates;
     if workers > 1 then
-      Format.fprintf ppf "parallel evaluation: %d worker domains@." workers;
+      Format.fprintf ppf "parallel evaluation: %d worker domains (%s scheduling)@."
+        workers (Parallel_eval.schedule_name schedule);
     if Fault.enabled fault then
       Format.fprintf ppf "fault injection: rate %.0f%% per oracle per candidate@."
         (100.0 *. fault_rate);
     let r =
       Unified_search.search ~candidates ~static_filter ~fault ?budget ?checkpoint
-        ~checkpoint_every ~workers ~ctx ~rng:(Rng.split rng) ~device:dev ~probe model
+        ~checkpoint_every ~workers ~schedule ~ctx ~rng:(Rng.split rng) ~device:dev
+        ~probe model
     in
     (match r.Unified_search.r_checkpoint_error with
     | Some e ->
@@ -294,8 +310,9 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc:"Run the unified transformation search")
     Term.(const run $ network_arg $ device_arg $ candidates_arg $ seed_arg
           $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
-          $ checkpoint_every_arg $ budget_arg $ workers_arg $ cache_cap_arg
-          $ trace_arg $ metrics_arg $ static_filter_arg $ analyze_arg $ plan_arg)
+          $ checkpoint_every_arg $ budget_arg $ workers_arg $ schedule_arg
+          $ cache_cap_arg $ trace_arg $ metrics_arg $ static_filter_arg $ analyze_arg
+          $ plan_arg)
 
 let nas_cmd =
   let run network device candidates seed =

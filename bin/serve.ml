@@ -83,6 +83,19 @@ let max_candidates_arg =
   let doc = "Per-request candidate-pool cap (larger requests are clamped)." in
   Arg.(value & opt int 512 & info [ "max-candidates" ] ~docv:"N" ~doc)
 
+let schedule_arg =
+  let doc =
+    "How multi-worker sessions assign candidates to their domains: \
+     $(b,dynamic) (idle domains pull the next unclaimed index) or \
+     $(b,static) (fixed contiguous chunks).  Results are bit-identical \
+     either way; see PERFORMANCE.md."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("dynamic", Parallel_eval.Dynamic); ("static", Parallel_eval.Static) ])
+        Parallel_eval.Dynamic
+    & info [ "schedule" ] ~docv:"SCHED" ~doc)
+
 let smoke_arg =
   let doc =
     "Do not serve stdio: boot an in-process server, push concurrent \
@@ -94,7 +107,7 @@ let smoke_arg =
 
 let config_of workers max_queue deadline_ms cache_file cache_save_every fault_rate
     fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-    max_candidates =
+    max_candidates schedule =
   if workers <= 0 then die "--workers must be positive (got %d)" workers;
   if max_queue < 0 then die "--max-queue must be >= 0 (got %d)" max_queue;
   Option.iter
@@ -133,7 +146,8 @@ let config_of workers max_queue deadline_ms cache_file cache_save_every fault_ra
       (if fault_rate <= 0.0 then Fault.none
        else Fault.make ~targets:[ Fault.Plan_gen ] ~seed:fault_seed ~rate:fault_rate ());
     cf_trace_dir = trace_dir;
-    cf_max_candidates = max_candidates }
+    cf_max_candidates = max_candidates;
+    cf_schedule = schedule }
 
 (* --- stdio serving ------------------------------------------------------ *)
 
@@ -316,11 +330,11 @@ let smoke () =
 let () =
   let run workers max_queue deadline_ms cache_file cache_save_every fault_rate
       fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-      max_candidates do_smoke =
+      max_candidates schedule do_smoke =
     let config =
       config_of workers max_queue deadline_ms cache_file cache_save_every fault_rate
         fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-        max_candidates
+        max_candidates schedule
     in
     if do_smoke then smoke () else serve_stdio config
   in
@@ -328,7 +342,7 @@ let () =
     Term.(const run $ workers_arg $ max_queue_arg $ deadline_arg $ cache_file_arg
           $ cache_save_every_arg $ fault_rate_arg $ fault_seed_arg $ retries_arg
           $ backoff_ms_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-          $ trace_dir_arg $ max_candidates_arg $ smoke_arg)
+          $ trace_dir_arg $ max_candidates_arg $ schedule_arg $ smoke_arg)
   in
   let info =
     Cmd.info "nas_serve"

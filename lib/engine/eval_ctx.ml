@@ -7,7 +7,10 @@ type t = {
   ec_checkpoint : string option;
   ec_checkpoint_every : int;
   ec_obs : Obs.t;
-  mutable ec_tune_configs : int;
+  (* A shared ref, not a mutable field: derived views ([with_device],
+     [with_knobs], [with_obs]) are record copies that must keep feeding
+     the same accumulator. *)
+  ec_tune_configs : int ref;
 }
 
 let create ?(cache_capacity = 8192) ?(fisher_capacity = 4096) ?(fault = Fault.none)
@@ -21,7 +24,7 @@ let create ?(cache_capacity = 8192) ?(fisher_capacity = 4096) ?(fault = Fault.no
     ec_checkpoint = checkpoint;
     ec_checkpoint_every = checkpoint_every;
     ec_obs = obs;
-    ec_tune_configs = 0 }
+    ec_tune_configs = ref 0 }
 
 (* The one piece of module-level mutable state left in the system: the
    context behind the legacy (context-free) wrappers.  Workers never touch
@@ -37,6 +40,8 @@ let default () =
       c
 
 let with_device t device = { t with ec_device = device }
+
+let with_obs t obs = { t with ec_obs = obs }
 
 let with_knobs ?fault ?budget ?checkpoint ?checkpoint_every t =
   { t with
@@ -57,13 +62,13 @@ let fork t =
     ec_checkpoint = t.ec_checkpoint;
     ec_checkpoint_every = t.ec_checkpoint_every;
     ec_obs = Obs.fork t.ec_obs;
-    ec_tune_configs = 0 }
+    ec_tune_configs = ref 0 }
 
 let absorb parent worker =
   Bounded_cache.absorb parent.ec_cost_cache (Bounded_cache.stats worker.ec_cost_cache);
   Bounded_cache.absorb parent.ec_fisher_cache
     (Bounded_cache.stats worker.ec_fisher_cache);
-  parent.ec_tune_configs <- parent.ec_tune_configs + worker.ec_tune_configs;
+  parent.ec_tune_configs := !(parent.ec_tune_configs) + !(worker.ec_tune_configs);
   Fault.add_injected parent.ec_fault (Fault.injected worker.ec_fault);
   Obs.absorb parent.ec_obs worker.ec_obs
 
@@ -113,7 +118,7 @@ let load_caches ~path t =
 let reset t =
   Bounded_cache.clear t.ec_cost_cache;
   Bounded_cache.clear t.ec_fisher_cache;
-  t.ec_tune_configs <- 0
+  t.ec_tune_configs := 0
 
 let device t = t.ec_device
 let obs t = t.ec_obs
@@ -126,5 +131,5 @@ let fisher_cache t = t.ec_fisher_cache
 let cost_stats t = Bounded_cache.stats t.ec_cost_cache
 let fisher_stats t = Bounded_cache.stats t.ec_fisher_cache
 
-let note_tune t n = t.ec_tune_configs <- t.ec_tune_configs + n
-let tune_configs t = t.ec_tune_configs
+let note_tune t n = t.ec_tune_configs := !(t.ec_tune_configs) + n
+let tune_configs t = !(t.ec_tune_configs)

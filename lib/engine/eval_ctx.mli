@@ -44,6 +44,12 @@ val with_device : t -> Device.t -> t
 (** The same context (sharing caches, counters and knobs) retargeted at
     another device.  Safe because every memo key embeds the device name. *)
 
+val with_obs : t -> Obs.t -> t
+(** The same context (sharing caches, the fault plan and the autotuner
+    counter) reporting to a different observability recorder.  This is
+    how the parallel evaluator gives each item its own trace buffer while
+    keeping the worker's memo caches warm across items. *)
+
 val with_knobs :
   ?fault:Fault.t ->
   ?budget:int ->

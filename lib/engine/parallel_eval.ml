@@ -2,25 +2,149 @@ let available_workers () = Domain.recommended_domain_count ()
 
 let max_workers = 64
 
-let map_range ~workers ~ctx ~first ~limit f =
-  let total = max 0 (limit - first) in
-  if total = 0 then [||]
-  else
-    let workers = max 1 (min (min workers total) max_workers) in
-    if workers = 1 then Array.init total (fun i -> f ctx (first + i))
-    else begin
-      let chunk = (total + workers - 1) / workers in
-      let worker_ctxs = Array.init workers (fun _ -> Eval_ctx.fork ctx) in
-      let run d =
+type schedule = Static | Dynamic
+
+let schedule_name = function Static -> "static" | Dynamic -> "dynamic"
+
+let schedule_of_string = function
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | _ -> None
+
+type worker_stat = {
+  ws_items : int;
+  ws_steals : int;
+  ws_busy_s : float;
+}
+
+type run_stats = {
+  rs_schedule : schedule;
+  rs_workers : int;
+  rs_wall_s : float;
+  rs_worker : worker_stat array;
+}
+
+let utilization stats =
+  Array.map
+    (fun w ->
+      if stats.rs_wall_s <= 0.0 then 1.0
+      else Float.min 1.0 (w.ws_busy_s /. stats.rs_wall_s))
+    stats.rs_worker
+
+(* The parallel path.  Results land in slot [i - first] no matter which
+   domain computed them, so the caller's sequential merge replays index
+   order exactly — the merge-by-index contract is schedule-independent.
+
+   Trace determinism: when the parent recorder is live, each item runs
+   against a per-item [Obs] fork (sharing the worker's caches and fault
+   plan through [Eval_ctx.with_obs]) and the item recorders are absorbed
+   into the parent in index order after the join.  Which worker evaluated
+   an item is timing-dependent under [Dynamic], but the merged trace
+   content never is. *)
+let run_parallel ~schedule ~on_stats ~workers ~ctx ~first ~limit ~total f =
+  (* Per-worker setup is hoisted out of the item loop: one context fork
+     (caches, fault plan, recorder) per domain for the whole run. *)
+  let worker_ctxs = Array.init workers (fun _ -> Eval_ctx.fork ctx) in
+  let parent_obs = Eval_ctx.obs ctx in
+  let obs_enabled = Obs.enabled parent_obs in
+  let results = Array.make total None in
+  let item_obs = if obs_enabled then Array.make total None else [||] in
+  let items = Array.make workers 0 in
+  let steals = Array.make workers 0 in
+  let busy = Array.make workers 0.0 in
+  let chunk = (total + workers - 1) / workers in
+  let eval d wctx i =
+    let t0 = Obs_clock.wall () in
+    let v =
+      if obs_enabled then begin
+        let iobs = Obs.fork (Eval_ctx.obs wctx) in
+        let r = f (Eval_ctx.with_obs wctx iobs) i in
+        item_obs.(i - first) <- Some iobs;
+        r
+      end
+      else f wctx i
+    in
+    results.(i - first) <- Some v;
+    items.(d) <- items.(d) + 1;
+    (* A steal = an item outside the worker's static fair-share chunk:
+       the work the dynamic scheduler moved to keep this domain busy. *)
+    let off = i - first in
+    if off < d * chunk || off >= (d + 1) * chunk then
+      steals.(d) <- steals.(d) + 1;
+    busy.(d) <- busy.(d) +. (Obs_clock.wall () -. t0)
+  in
+  let next = Atomic.make first in
+  let run d =
+    let wctx = worker_ctxs.(d) in
+    match schedule with
+    | Static ->
         let lo = first + (d * chunk) in
         let hi = min limit (lo + chunk) in
-        Array.init (max 0 (hi - lo)) (fun i -> f worker_ctxs.(d) (lo + i))
-      in
-      let domains =
-        Array.init (workers - 1) (fun d -> Domain.spawn (fun () -> run (d + 1)))
-      in
-      let head = run 0 in
-      let tails = Array.map Domain.join domains in
-      Array.iter (fun w -> Eval_ctx.absorb ctx w) worker_ctxs;
-      Array.concat (head :: Array.to_list tails)
-    end
+        for i = lo to hi - 1 do
+          eval d wctx i
+        done
+    | Dynamic ->
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i < limit then eval d wctx i else continue := false
+        done
+  in
+  let t0 = Obs_clock.wall () in
+  let domains =
+    Array.init (workers - 1) (fun d -> Domain.spawn (fun () -> run (d + 1)))
+  in
+  let head_exn = (try run 0; None with e -> Some e) in
+  let tail_exn =
+    Array.fold_left
+      (fun acc d -> try Domain.join d; acc with e -> if acc = None then Some e else acc)
+      None domains
+  in
+  (match head_exn, tail_exn with Some e, _ | None, Some e -> raise e | None, None -> ());
+  let wall = Obs_clock.wall () -. t0 in
+  (* Deterministic merge: per-item telemetry in index order first, then
+     each worker's cache/fault accounting in worker order. *)
+  if obs_enabled then
+    Array.iter
+      (function Some o -> Obs.absorb parent_obs o | None -> ())
+      item_obs;
+  Array.iter (fun w -> Eval_ctx.absorb ctx w) worker_ctxs;
+  (match on_stats with
+  | None -> ()
+  | Some k ->
+      k
+        { rs_schedule = schedule;
+          rs_workers = workers;
+          rs_wall_s = wall;
+          rs_worker =
+            Array.init workers (fun d ->
+                { ws_items = items.(d); ws_steals = steals.(d); ws_busy_s = busy.(d) }) });
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_range ?(schedule = Dynamic) ?on_stats ~workers ~ctx ~first ~limit f =
+  let total = max 0 (limit - first) in
+  if total = 0 then begin
+    (match on_stats with
+    | None -> ()
+    | Some k ->
+        k { rs_schedule = schedule; rs_workers = 0; rs_wall_s = 0.0; rs_worker = [||] });
+    [||]
+  end
+  else
+    let workers = max 1 (min (min workers total) max_workers) in
+    match workers, on_stats with
+    | 1, None ->
+        (* Scheduling-overhead guard: one worker is the plain sequential
+           map over [ctx] itself — no fork, no atomics, no timing. *)
+        Array.init total (fun i -> f ctx (first + i))
+    | 1, Some k ->
+        let t0 = Obs_clock.wall () in
+        let out = Array.init total (fun i -> f ctx (first + i)) in
+        let wall = Obs_clock.wall () -. t0 in
+        k
+          { rs_schedule = schedule;
+            rs_workers = 1;
+            rs_wall_s = wall;
+            rs_worker = [| { ws_items = total; ws_steals = 0; ws_busy_s = wall } |] };
+        out
+    | _ -> run_parallel ~schedule ~on_stats ~workers ~ctx ~first ~limit ~total f

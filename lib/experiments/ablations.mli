@@ -41,5 +41,10 @@ type data = {
 }
 
 val compute : Exp_common.mode -> data
+(** Run all three ablations at the mode's budgets. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the ablation tables. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV exports. *)

@@ -13,3 +13,4 @@ val write : name:string -> header:string list -> string list list -> string
 
 val float_cell : float -> string
 val int_cell : int -> string
+(** Integer rendered as a CSV cell. *)

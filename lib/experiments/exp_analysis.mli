@@ -22,5 +22,10 @@ type data = {
 }
 
 val compute : Exp_common.mode -> Fig4.data -> data
+(** Train the Figure-4 winners and collect the accuracy/size/search rows. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the three §7.2 tables. *)
+
 val run : Exp_common.mode -> Fig4.data -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV exports. *)

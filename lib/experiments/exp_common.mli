@@ -9,19 +9,32 @@
 type mode = Quick | Full
 
 val mode_of_env : unit -> mode
+(** [Full] when [NPTE_MODE=full] is set, [Quick] otherwise. *)
+
 val mode_name : mode -> string
+(** ["quick"] or ["full"], for banners and CSV filenames. *)
 
 val candidates : mode -> int
 (** Unified-search pool size (1000 in Full, as in §6). *)
 
 val blockswap_samples : mode -> int
 val nasbench_cells : mode -> int
+(** Cells sampled for the Figure-3 NAS-Bench-201-like scatter. *)
+
 val train_steps : mode -> int
+(** Per-network training budget (steps) for the accuracy experiments. *)
+
 val seeds : mode -> int
+(** Independent training seeds per measured point (Figure 9 error bars). *)
+
 val fbnet_rounds : mode -> int
+(** Evolution rounds of the simulated FBNet baseline (Figure 7). *)
+
 val fbnet_population : mode -> int
+(** Population size of the simulated FBNet baseline (Figure 7). *)
 
 val master_seed : int
+(** The one seed every experiment derives its streams from. *)
 
 val cifar_configs : unit -> Models.config list
 (** The three CIFAR-10 networks of Figure 4 (search scale). *)

@@ -23,5 +23,10 @@ val new_families : unit -> Zoo.entry list
 (** The registry entries this section sweeps (the non-paper ones). *)
 
 val compute : Exp_common.mode -> row list
+(** Search every new family on every modelled device. *)
+
 val print : Format.formatter -> row list -> unit
+(** Render the sweep table. *)
+
 val run : Exp_common.mode -> Format.formatter -> row list
+(** {!compute}, {!print}, and write the CSV export. *)

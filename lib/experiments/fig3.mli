@@ -18,5 +18,10 @@ type data = {
 }
 
 val compute : Exp_common.mode -> data
+(** Sample, train and score the cell population at the mode's budgets. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the scatter summary and filtering statistics. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

@@ -22,8 +22,16 @@ type data = {
 }
 
 val nas_speedup : row -> float
+(** TVM latency over the NAS baseline's latency. *)
+
 val ours_speedup : row -> float
+(** TVM latency over the unified search winner's latency. *)
 
 val compute : Exp_common.mode -> data
+(** Run all three systems on every (network, device) pair. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the per-platform comparison bars. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

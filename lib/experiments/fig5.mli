@@ -14,5 +14,10 @@ type row = {
 type data = { rows : row list }
 
 val compute : Fig4.data -> data
+(** Classify every winning site plan of the Figure-4 results. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the sequence-frequency table. *)
+
 val run : Fig4.data -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

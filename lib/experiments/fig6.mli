@@ -23,5 +23,10 @@ type layer = {
 type data = { layers : layer list }
 
 val compute : Exp_common.mode -> data
+(** Optimize every distinct layer shape under each sequence. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the per-layer comparison table. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

@@ -18,5 +18,10 @@ type row = {
 type data = { rows : row list }
 
 val compute : Exp_common.mode -> Fig4.data -> data
+(** Run the FBNet simulation against the Figure-4 baselines. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the comparison table with the simulated GPU-day costs. *)
+
 val run : Exp_common.mode -> Fig4.data -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

@@ -15,5 +15,10 @@ type row = {
 type data = { rows : row list }
 
 val compute : Exp_common.mode -> data
+(** Train each original/transformed pair under the same budget. *)
+
 val print : Format.formatter -> data -> unit
+(** Render the accuracy-vs-latency table. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

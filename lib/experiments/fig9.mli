@@ -6,5 +6,10 @@
 type data = { points : Interpolate.point list }
 
 val compute : Exp_common.mode -> data
+(** Train every interpolation point (several seeds each). *)
+
 val print : Format.formatter -> data -> unit
+(** Render the accuracy/latency frontier with Pareto flags. *)
+
 val run : Exp_common.mode -> Format.formatter -> data
+(** {!compute}, {!print}, and write the CSV export. *)

@@ -79,20 +79,43 @@ let site_cost ?ctx dev site (plan : Site_plan.t) =
     0.0
     (Conv_impl.workloads site plan.Site_plan.sp_impl)
 
-let evaluate ?ctx dev model ~plans =
-  let ctx = ctx_or_default ctx in
-  let sites = model.Models.sites in
-  if Array.length plans <> Array.length sites then
-    Nas_error.shape_mismatch "evaluate: %d plans for %d sites (one plan per site)"
-      (Array.length plans) (Array.length sites);
-  let scaled = Array.map (Models.scale_site model) sites in
+(* Candidate-independent evaluation state, built once per search instead
+   of once per candidate: the paper-scaled sites and the fixed (untrans-
+   formable) workload list with its MAC/param totals.  Only the plan-
+   dependent parts remain in the per-candidate path. *)
+type prepared = {
+  pp_sites : Conv_impl.site array;
+  pp_fixed : Conv_impl.workload list;
+  pp_fixed_macs : int;
+  pp_fixed_params : int;
+}
+
+let prepare model =
+  let pp_sites = Array.map (Models.scale_site model) model.Models.sites in
   (* Paper-scale fixed workloads = the fixed prefix of cost_workloads. *)
-  let fixed_scaled =
+  let pp_fixed =
     let n_fixed = List.length model.Models.fixed_workloads in
     List.filteri (fun i _ -> i < n_fixed) (Models.cost_workloads model)
   in
+  { pp_sites;
+    pp_fixed;
+    pp_fixed_macs =
+      List.fold_left (fun acc w -> acc + Conv_impl.workload_macs w) 0 pp_fixed;
+    pp_fixed_params =
+      List.fold_left
+        (fun acc w ->
+          acc
+          + (w.Conv_impl.w_in_channels * w.w_out_channels * w.w_kernel * w.w_kernel
+            / w.w_groups))
+        0 pp_fixed }
+
+let evaluate_prepared ?ctx dev prep ~plans =
+  let ctx = ctx_or_default ctx in
+  if Array.length plans <> Array.length prep.pp_sites then
+    Nas_error.shape_mismatch "evaluate: %d plans for %d sites (one plan per site)"
+      (Array.length plans) (Array.length prep.pp_sites);
   let fixed_cost =
-    List.fold_left (fun acc w -> acc +. workload_cost ~ctx dev w) 0.0 fixed_scaled
+    List.fold_left (fun acc w -> acc +. workload_cost ~ctx dev w) 0.0 prep.pp_fixed
   in
   let site_evals =
     Array.mapi
@@ -100,37 +123,28 @@ let evaluate ?ctx dev model ~plans =
         { se_site = site;
           se_plan = plans.(i);
           se_cost_s = site_cost ~ctx dev site plans.(i) })
-      scaled
+      prep.pp_sites
   in
   let latency =
     fixed_cost +. Array.fold_left (fun acc se -> acc +. se.se_cost_s) 0.0 site_evals
   in
-  let fixed_macs =
-    List.fold_left (fun acc w -> acc + Conv_impl.workload_macs w) 0 fixed_scaled
-  in
-  let fixed_params =
-    List.fold_left
-      (fun acc w ->
-        acc
-        + (w.Conv_impl.w_in_channels * w.w_out_channels * w.w_kernel * w.w_kernel
-          / w.w_groups))
-      0 fixed_scaled
-  in
   let macs =
     Array.fold_left
       (fun acc se -> acc + Conv_impl.macs se.se_site se.se_plan.Site_plan.sp_impl)
-      fixed_macs site_evals
+      prep.pp_fixed_macs site_evals
   in
   let params =
     Array.fold_left
       (fun acc se -> acc + Conv_impl.param_count se.se_site se.se_plan.Site_plan.sp_impl)
-      fixed_params site_evals
+      prep.pp_fixed_params site_evals
   in
   { ev_latency_s = latency;
     ev_macs = macs;
     ev_params = params;
     ev_sites = site_evals;
     ev_fixed_cost_s = fixed_cost }
+
+let evaluate ?ctx dev model ~plans = evaluate_prepared ?ctx dev (prepare model) ~plans
 
 let baseline ?ctx dev model =
   evaluate ?ctx dev model

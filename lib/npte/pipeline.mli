@@ -36,9 +36,27 @@ val site_cost : ?ctx:Eval_ctx.t -> Device.t -> Conv_impl.site -> Site_plan.t -> 
     realized convolutions.  Raises {!Nas_error.Fail}[ (Invalid_plan _)] on
     a plan inapplicable to the site. *)
 
+type prepared
+(** Candidate-independent evaluation state: the paper-scaled sites and the
+    fixed-workload list with its MAC/param totals.  Building it is pure
+    per-model work — hoist it out of a candidate loop with {!prepare} and
+    reuse it for every {!evaluate_prepared} call. *)
+
+val prepare : Models.t -> prepared
+(** Precompute the model's scaled sites and fixed workloads once.  The
+    result is immutable and safe to share across worker domains. *)
+
+val evaluate_prepared :
+  ?ctx:Eval_ctx.t -> Device.t -> prepared -> plans:Site_plan.t array -> evaluated
+(** {!evaluate} against a {!prepared} model — bit-identical results, but
+    the per-model setup is paid once instead of once per candidate.
+    Raises {!Nas_error.Fail}[ (Shape_mismatch _)] unless there is exactly
+    one plan per site. *)
+
 val evaluate :
   ?ctx:Eval_ctx.t -> Device.t -> Models.t -> plans:Site_plan.t array -> evaluated
-(** Evaluate the model with one plan per transformable site.  Raises
+(** Evaluate the model with one plan per transformable site (a {!prepare}
+    plus {!evaluate_prepared} in one call).  Raises
     {!Nas_error.Fail}[ (Shape_mismatch _)] unless there is exactly one plan
     per site. *)
 

@@ -108,7 +108,7 @@ let generate_pool rng model ~candidates ~mutate_prob =
    every failure mode raises a structured {!Nas_error.Fail} for the
    caller to quarantine. *)
 let eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~probe
-    model plans =
+    ~prepared model plans =
   let obs = Eval_ctx.obs ctx in
   if Fault.trip fault ~key:index Fault.Plan_gen then
     Nas_error.fail (Nas_error.Injected_fault "plan generation");
@@ -151,7 +151,7 @@ let eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~pro
   | None -> None
   | Some total ->
       Obs.with_span obs "cost" (fun () ->
-          let ev = Pipeline.evaluate ~ctx device model ~plans in
+          let ev = Pipeline.evaluate_prepared ~ctx device prepared ~plans in
           let latency =
             Fault.corrupt_float fault ~key:index Fault.Cost_oracle
               ev.Pipeline.ev_latency_s
@@ -181,13 +181,13 @@ type outcome =
    merge exactly (integer adds) and quarantine notes ride between the
    spans, so the merged trace and the [search.*] counters are identical
    for every worker count. *)
-let eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe model index
-    plans =
+let eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe ~prepared
+    model index plans =
   let obs = Eval_ctx.obs ctx in
   match
     Nas_error.guard (fun () ->
         eval_candidate ~ctx ~fault ~index ~slack ~static_filter ~oracle ~device ~probe
-          model plans)
+          ~prepared model plans)
   with
   | Ok (Some cand) ->
       Obs.incr obs "search.cost_ranked";
@@ -247,7 +247,8 @@ let snapshot_engine_counters ctx =
 
 let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
     ?(static_filter = true) ?(stop = fun () -> false) ?fault ?budget ?checkpoint
-    ?checkpoint_every ?(workers = 1) ?ctx ~rng ~device ~probe model =
+    ?checkpoint_every ?(workers = 1) ?(schedule = Parallel_eval.Dynamic)
+    ?on_sched_stats ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
   (* Resolve the context: explicit knob arguments override the context's,
      which override the defaults. *)
@@ -263,8 +264,14 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
   let checkpoint_every = Eval_ctx.checkpoint_every ctx in
   let obs = Eval_ctx.obs ctx in
   Obs.with_span obs "search" @@ fun () ->
+  (* Candidate-independent setup, hoisted out of the per-candidate hot
+     loop: scaled sites and fixed workload dims are computed once per
+     search and shared (immutably) by every worker domain. *)
+  let prepared = Pipeline.prepare model in
   let baseline =
-    Obs.with_span obs "baseline" (fun () -> Pipeline.baseline ~ctx device model)
+    Obs.with_span obs "baseline" (fun () ->
+        Pipeline.evaluate_prepared ~ctx device prepared
+          ~plans:(Array.map (fun _ -> Site_plan.baseline) model.Models.sites))
   in
   let oracle, pool =
     Obs.with_span obs "generate" (fun () ->
@@ -344,7 +351,7 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
           else begin
             merge_outcome !i
               (eval_outcome ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe
-                 model !i pool.(!i));
+                 ~prepared model !i pool.(!i));
             incr i;
             if checkpoint <> None && !i mod checkpoint_every = 0 && !i < n then
               save_checkpoint !i
@@ -352,18 +359,21 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
         done
       end
       else
-        (* Parallel path: per-domain context forks evaluate contiguous
-           chunks; outcomes come back in index order, so the sequential
-           merge below reproduces the workers=1 result exactly.  Workers
-           poll [stop] per candidate (the hook must be domain-safe), so a
-           deadline cancels in-flight chunks at candidate granularity. *)
+        (* Parallel path: per-domain context forks pull candidates under
+           the chosen schedule (dynamic by default — idle domains claim
+           the next unclaimed index); outcomes come back in index order,
+           so the sequential merge below reproduces the workers=1 result
+           exactly for either schedule.  Workers poll [stop] per candidate
+           (the hook must be domain-safe), so a deadline cancels in-flight
+           work at candidate granularity. *)
         Array.iteri
           (fun off o -> merge_outcome (first + off) o)
-          (Parallel_eval.map_range ~workers ~ctx ~first ~limit (fun wctx i ->
+          (Parallel_eval.map_range ~schedule ?on_stats:on_sched_stats ~workers ~ctx
+             ~first ~limit (fun wctx i ->
                if stop () then O_skipped
                else
                  eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack
-                   ~static_filter ~oracle ~device ~probe model i pool.(i))));
+                   ~static_filter ~oracle ~device ~probe ~prepared model i pool.(i))));
   (* Resume point: the first unprocessed index.  When the stop hook fired
      mid-pool, candidates past it that a parallel worker already finished
      are simply re-evaluated on resume (they are deterministic). *)

@@ -57,6 +57,8 @@ val search :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?workers:int ->
+  ?schedule:Parallel_eval.schedule ->
+  ?on_sched_stats:(Parallel_eval.run_stats -> unit) ->
   ?ctx:Eval_ctx.t ->
   rng:Rng.t ->
   device:Device.t ->
@@ -93,7 +95,19 @@ val search :
     domains, each against its own context fork.  Outcomes are merged in
     candidate-index order, so any worker count returns the identical best
     candidate, rejection count and (sorted) quarantine list; per-worker
-    cache and fault telemetry is folded back into [ctx].
+    cache and fault telemetry is folded back into [ctx].  [workers = 1]
+    routes through the sequential path with zero scheduling overhead.
+
+    [schedule] (default {!Parallel_eval.Dynamic}) picks how candidates are
+    assigned to worker domains: [Dynamic] has idle domains pull the next
+    unclaimed index (skewed per-candidate costs rebalance automatically),
+    [Static] assigns fixed contiguous chunks.  Results, [search.*]
+    counters and trace content are bit-identical for either schedule.
+
+    [on_sched_stats] (parallel runs only) receives the scheduler's
+    per-worker item/steal/busy accounting after the evaluation phase —
+    timing-dependent telemetry, deliberately outside the deterministic
+    result; BENCH_search.json records it as per-worker utilization.
 
     [fault] (default {!Fault.none}) injects deterministic faults into the
     Fisher oracle / cost model / plan generation; the corrupted candidates

@@ -36,12 +36,15 @@ type config = {
   cf_trace_dir : string option;  (** per-session JSONL trace directory *)
   cf_max_candidates : int;  (** per-request candidate-pool cap *)
   cf_max_session_workers : int;  (** per-request worker-domain cap *)
+  cf_schedule : Parallel_eval.schedule;
+      (** how multi-worker sessions assign candidates to their domains
+          (results are bit-identical either way) *)
 }
 
 val default_config : config
 (** 4 workers, queue 16, no default deadline, {!Retry.default}, breaker
     5/30s, storm fraction 0.5, no persistence, no faults, no traces,
-    candidate cap 512, session-worker cap 4. *)
+    candidate cap 512, session-worker cap 4, dynamic scheduling. *)
 
 type t
 (** A running server (the worker domains are live). *)

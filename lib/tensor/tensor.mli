@@ -11,7 +11,10 @@ val create : int array -> float -> t
 (** [create shape v] is a tensor of the given shape filled with [v]. *)
 
 val zeros : int array -> t
+(** [create shape 0.0]. *)
+
 val ones : int array -> t
+(** [create shape 1.0]. *)
 
 val init : int array -> (int array -> float) -> t
 (** [init shape f] fills each cell from its multi-index. *)
@@ -23,15 +26,28 @@ val scalar : float -> t
 (** Rank-0 tensor. *)
 
 val shape : t -> int array
+(** The dimension sizes (do not mutate the returned array). *)
+
 val data : t -> float array
+(** The flat row-major backing store (shared, not a copy). *)
+
 val numel : t -> int
+(** Total element count (the shape product). *)
+
 val ndim : t -> int
+(** Rank: number of dimensions. *)
+
 val dim : t -> int -> int
+(** [dim t i] is the size of dimension [i]. *)
 
 val same_shape : t -> t -> bool
+(** Whether two tensors have identical shapes (element-wise). *)
 
 val get : t -> int array -> float
+(** Read one cell by multi-index (row-major). *)
+
 val set : t -> int array -> float -> unit
+(** Write one cell by multi-index (row-major). *)
 
 val get1 : t -> int -> float
 (** Flat-index read. *)
@@ -43,17 +59,35 @@ val reshape : t -> int array -> t
 (** Shares the underlying data; the element count must be preserved. *)
 
 val copy : t -> t
+(** Fresh tensor with its own copy of the data. *)
+
 val fill_ : t -> float -> unit
+(** Overwrite every cell in place. *)
+
 val blit : src:t -> dst:t -> unit
+(** Copy [src]'s data into [dst] (shapes must match). *)
 
 val map : (float -> float) -> t -> t
+(** Element-wise transform into a fresh tensor. *)
+
 val map2 : (float -> float -> float) -> t -> t -> t
+(** Element-wise combination of two same-shape tensors. *)
+
 val iteri_flat : (int -> float -> unit) -> t -> unit
+(** Iterate cells with their flat (row-major) index. *)
 
 val add : t -> t -> t
+(** Element-wise sum (fresh tensor; shapes must match). *)
+
 val sub : t -> t -> t
+(** Element-wise difference (fresh tensor; shapes must match). *)
+
 val mul : t -> t -> t
+(** Element-wise (Hadamard) product (fresh tensor; shapes must match). *)
+
 val scale : float -> t -> t
+(** Multiply every cell by a scalar (fresh tensor). *)
+
 val add_ : t -> t -> unit
 (** [add_ dst src] accumulates [src] into [dst]. *)
 
@@ -62,8 +96,14 @@ val axpy_ : alpha:float -> x:t -> y:t -> unit
 
 val sum : t -> float
 val mean : t -> float
+(** Arithmetic mean over all cells (0 on an empty tensor). *)
+
 val max_value : t -> float
+(** Largest cell value. *)
+
 val argmax_flat : t -> int
+(** Flat (row-major) index of the largest cell — the classifier's
+    predicted label when applied to a logit vector. *)
 
 val sq_norm : t -> float
 (** Sum of squared entries. *)
@@ -73,6 +113,7 @@ val approx_equal : ?tol:float -> t -> t -> bool
 
 val rand_uniform : Rng.t -> int array -> lo:float -> hi:float -> t
 val rand_normal : Rng.t -> int array -> mean:float -> std:float -> t
+(** Gaussian-filled tensor (Box–Muller draws from the given [Rng.t]). *)
 
 val kaiming : Rng.t -> int array -> fan_in:int -> t
 (** He-normal initialization used for all conv and linear weights. *)

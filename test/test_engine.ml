@@ -164,9 +164,9 @@ let quarantine_fingerprint r =
     (fun (sig_, e) -> (sig_, Nas_error.class_name e))
     r.Unified_search.r_quarantined
 
-let run_search ?fault ?budget ~workers () =
+let run_search ?fault ?budget ?schedule ~workers () =
   let rng, model, probe = setup () in
-  Unified_search.search ~candidates:16 ?fault ?budget ~workers
+  Unified_search.search ~candidates:16 ?fault ?budget ?schedule ~workers
     ~ctx:(Eval_ctx.create ()) ~rng:(Rng.split rng) ~device:Device.i7 ~probe model
 
 let check_identical a b =
@@ -214,6 +214,129 @@ let t_quarantine_sorted () =
   Alcotest.(check (list string)) "quarantine sorted by signature"
     (List.sort compare sigs) sigs
 
+(* --- dynamic scheduler --------------------------------------------------- *)
+
+(* Deterministic skewed per-item cost: every 3rd item burns ~20x longer.
+   Whatever the timing does to the worker->item assignment, the result
+   array must stay a pure function of the index. *)
+let skewed_burn i =
+  let reps = if i mod 3 = 0 then 20_000 else 1_000 in
+  let x = ref (float_of_int (i + 1)) in
+  for _ = 1 to reps do
+    x := Float.rem (!x *. 1.0000001 +. sin !x) 1000.0
+  done;
+  !x
+
+let map_skewed ?on_stats ~schedule ~workers ~n () =
+  let ctx = Eval_ctx.create () in
+  Parallel_eval.map_range ~schedule ?on_stats ~workers ~ctx ~first:0 ~limit:n
+    (fun _ i -> skewed_burn i)
+
+let t_sched_skewed_costs () =
+  let serial = map_skewed ~schedule:Parallel_eval.Dynamic ~workers:1 ~n:30 () in
+  List.iter
+    (fun (schedule, workers) ->
+      let out = map_skewed ~schedule ~workers ~n:30 () in
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "%s workers=%d bit-identical to serial"
+           (Parallel_eval.schedule_name schedule) workers)
+        serial out)
+    [ (Parallel_eval.Static, 2); (Parallel_eval.Static, 4);
+      (Parallel_eval.Dynamic, 2); (Parallel_eval.Dynamic, 4) ]
+
+let t_sched_workers_exceed_items () =
+  (* 8 workers over 3 items: the pool is clamped to the item count and
+     every item still lands in its slot. *)
+  let stats = ref None in
+  let out =
+    map_skewed ~on_stats:(fun s -> stats := Some s)
+      ~schedule:Parallel_eval.Dynamic ~workers:8 ~n:3 ()
+  in
+  Alcotest.(check (array (float 0.0))) "3 items despite 8 workers"
+    (Array.init 3 skewed_burn) out;
+  match !stats with
+  | None -> Alcotest.fail "scheduler stats not delivered"
+  | Some s ->
+      Alcotest.(check bool) "worker pool clamped to item count" true
+        (s.Parallel_eval.rs_workers <= 3);
+      Alcotest.(check int) "per-worker items sum to the range" 3
+        (Array.fold_left
+           (fun acc w -> acc + w.Parallel_eval.ws_items)
+           0 s.rs_worker)
+
+let t_sched_items_exceed_workers () =
+  let serial = map_skewed ~schedule:Parallel_eval.Static ~workers:1 ~n:64 () in
+  let stats = ref None in
+  let out =
+    map_skewed ~on_stats:(fun s -> stats := Some s)
+      ~schedule:Parallel_eval.Dynamic ~workers:2 ~n:64 ()
+  in
+  Alcotest.(check (array (float 0.0))) "64 items on 2 workers" serial out;
+  match !stats with
+  | None -> Alcotest.fail "scheduler stats not delivered"
+  | Some s ->
+      Alcotest.(check int) "all items accounted for" 64
+        (Array.fold_left
+           (fun acc w -> acc + w.Parallel_eval.ws_items)
+           0 s.rs_worker)
+
+let t_sched_stats_sanity () =
+  let stats = ref None in
+  ignore
+    (map_skewed ~on_stats:(fun s -> stats := Some s)
+       ~schedule:Parallel_eval.Dynamic ~workers:4 ~n:24 ());
+  (match !stats with
+  | None -> Alcotest.fail "scheduler stats not delivered"
+  | Some s ->
+      Alcotest.(check string) "schedule recorded" "dynamic"
+        (Parallel_eval.schedule_name s.Parallel_eval.rs_schedule);
+      Alcotest.(check int) "one stat row per worker" s.rs_workers
+        (Array.length s.rs_worker);
+      Alcotest.(check bool) "wall time measured" true (s.rs_wall_s >= 0.0);
+      Array.iter
+        (fun w ->
+          Alcotest.(check bool) "steals bounded by items" true
+            (w.Parallel_eval.ws_steals <= w.ws_items))
+        s.rs_worker;
+      Array.iter
+        (fun u ->
+          Alcotest.(check bool) "utilization in [0,1]" true (u >= 0.0 && u <= 1.0))
+        (Parallel_eval.utilization s));
+  (* workers=1 with a stats request still reports (serial path, 1 worker,
+     no steals). *)
+  let solo = ref None in
+  ignore
+    (map_skewed ~on_stats:(fun s -> solo := Some s)
+       ~schedule:Parallel_eval.Static ~workers:1 ~n:5 ());
+  match !solo with
+  | None -> Alcotest.fail "workers=1 stats not delivered"
+  | Some s ->
+      Alcotest.(check int) "one worker" 1 s.Parallel_eval.rs_workers;
+      Alcotest.(check int) "serial path steals nothing" 0
+        s.rs_worker.(0).Parallel_eval.ws_steals;
+      Alcotest.(check int) "serial path did every item" 5
+        s.rs_worker.(0).Parallel_eval.ws_items
+
+let t_sched_search_static_dynamic () =
+  let serial = run_search ~workers:1 () in
+  let static = run_search ~schedule:Parallel_eval.Static ~workers:4 () in
+  let dynamic = run_search ~schedule:Parallel_eval.Dynamic ~workers:4 () in
+  check_identical serial static;
+  check_identical serial dynamic
+
+let t_sched_faulted_budget () =
+  (* Fault injection and a budget cap compose with either schedule: the
+     quarantine set and stop point stay bit-identical to serial. *)
+  let fault () = Fault.make ~seed:11 ~rate:0.3 () in
+  let serial = run_search ~fault:(fault ()) ~budget:9 ~workers:1 () in
+  Alcotest.(check bool) "budget stop reported" false
+    serial.Unified_search.r_complete;
+  List.iter
+    (fun schedule ->
+      let r = run_search ~fault:(fault ()) ~budget:9 ~schedule ~workers:4 () in
+      check_identical serial r)
+    [ Parallel_eval.Static; Parallel_eval.Dynamic ]
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "engine"
@@ -232,4 +355,11 @@ let () =
           quick "determinism" t_parallel_determinism;
           quick "determinism under faults" t_parallel_determinism_faulted;
           quick "determinism under budget" t_parallel_budget;
-          quick "quarantine sorted" t_quarantine_sorted ] ) ]
+          quick "quarantine sorted" t_quarantine_sorted ] );
+      ( "scheduler",
+        [ quick "skewed costs stay deterministic" t_sched_skewed_costs;
+          quick "workers exceed items" t_sched_workers_exceed_items;
+          quick "items exceed workers" t_sched_items_exceed_workers;
+          quick "stats sanity" t_sched_stats_sanity;
+          quick "search static vs dynamic" t_sched_search_static_dynamic;
+          quick "faulted + budget runs" t_sched_faulted_budget ] ) ]
