@@ -125,6 +125,24 @@ let uneven_section ~items ~base =
     runs;
   (heavy_every, heavy_factor, runs)
 
+(* --- per-strategy comparison --------------------------------------------- *)
+
+(* One serial search per strategy at the same budget/seed/device, so the
+   rows differ only in candidate generation.  Survivor fraction counts
+   candidates that passed both the Fisher gate and quarantine screening. *)
+let strategy_run ~n strategy =
+  let rng = Rng.create seed in
+  let model = Models.build (Models.resnet18 ()) rng in
+  let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:16 in
+  let r =
+    Unified_search.search ~candidates:n ~strategy ~rng:(Rng.split rng)
+      ~device:Device.i7 ~probe model
+  in
+  let survivors =
+    r.Unified_search.r_explored - r.r_rejected - List.length r.r_quarantined
+  in
+  (r, float_of_int survivors /. float_of_int (max 1 r.r_explored))
+
 (* --- smoke mode ---------------------------------------------------------- *)
 
 let run_smoke () =
@@ -160,6 +178,13 @@ let run_smoke () =
     runs;
   let _, _, uneven = uneven_section ~items:16 ~base:200 in
   ignore uneven;
+  List.iter
+    (fun st ->
+      let r, frac = strategy_run ~n st in
+      Printf.printf "strategy %-7s survivors=%.0f%% best=%.4fms\n%!"
+        (Strategy.to_string st) (100.0 *. frac)
+        (1000.0 *. r.Unified_search.r_best.Unified_search.cd_latency_s))
+    Strategy.all;
   Printf.printf
     "bench smoke OK: %d candidates, serial/static/dynamic agree (no JSON written)\n%!"
     n;
@@ -332,6 +357,52 @@ let () =
         (if i = nf - 1 then "" else ","))
     new_entries;
   Printf.fprintf oc "  ],\n";
+  (* Per-strategy rows at the headline budget: identical seed, device and
+     candidate count, so survivor fraction and best latency isolate the
+     candidate generator.  The typed/guided generators must beat random's
+     survivor fraction without giving up latency — enforced here, so a
+     regression in the typed menus fails the bench. *)
+  let strategy_rows = List.map (fun st -> (st, strategy_run ~n:candidates st)) Strategy.all in
+  let row st =
+    let _, (r, frac) =
+      (st, List.assoc st strategy_rows)
+    in
+    (r, frac)
+  in
+  let random_r, random_frac = row Strategy.Random in
+  let random_best = random_r.Unified_search.r_best.Unified_search.cd_latency_s in
+  Printf.fprintf oc "  \"strategies\": [\n";
+  let ns = List.length strategy_rows in
+  List.iteri
+    (fun i (st, (r, frac)) ->
+      Printf.printf "strategy %-7s survivors=%.0f%% best=%.4fms\n%!"
+        (Strategy.to_string st) (100.0 *. frac)
+        (1000.0 *. r.Unified_search.r_best.Unified_search.cd_latency_s);
+      Printf.fprintf oc
+        "    {\"strategy\": \"%s\", \"candidates\": %d, \
+         \"survivor_fraction\": %.4f, \"best_latency_ms\": %.4f, \
+         \"speedup\": %.3f}%s\n"
+        (Strategy.to_string st) candidates frac
+        (1000.0 *. r.Unified_search.r_best.Unified_search.cd_latency_s)
+        (Unified_search.speedup r)
+        (if i = ns - 1 then "" else ","))
+    strategy_rows;
+  Printf.fprintf oc "  ],\n";
+  List.iter
+    (fun st ->
+      let r, frac = row st in
+      if frac <= random_frac then (
+        Printf.eprintf
+          "STRATEGY REGRESSION: %s survivor fraction %.4f is not above random's %.4f\n"
+          (Strategy.to_string st) frac random_frac;
+        exit 1);
+      if r.Unified_search.r_best.Unified_search.cd_latency_s > random_best then (
+        Printf.eprintf
+          "STRATEGY REGRESSION: %s best latency %.6fs is worse than random's %.6fs\n"
+          (Strategy.to_string st)
+          r.Unified_search.r_best.Unified_search.cd_latency_s random_best;
+        exit 1))
+    [ Strategy.Typed; Strategy.Guided ];
   (* Differential-sanitizer agreement rate: the static legality analyzer
      against the sampling oracle over the seeded fuzz corpus (the same
      corpus `dune build @sanitize` gates CI on). *)
@@ -353,6 +424,24 @@ let () =
     (1.0 -. Sanitizer.unknown_rate sr)
     (Sanitizer.unknown_rate sr)
     sr.Sanitizer.rs_static_time sr.Sanitizer.rs_oracle_time;
+  (* Typed-vs-oracle differential fuzzer over the same corpus seed: both
+     directions of the Plan_types exactness contract (the @typecheck-fuzz
+     CI gate runs 1000 cases; the bench row records 200). *)
+  let tr = Sanitizer.run_typed ~seed:2026 ~n:200 () in
+  Printf.printf "typed fuzzer: %d cases, %d disagreements, %.1f%% unknown\n%!"
+    tr.Sanitizer.tt_total
+    (List.length tr.Sanitizer.tt_disagreements)
+    (100.0 *. Sanitizer.typed_unknown_rate tr);
+  if not (Sanitizer.typed_passed tr) then (
+    Printf.eprintf "TYPED FUZZER FAILURE: type system diverges from the linter/oracle\n";
+    exit 1);
+  Printf.fprintf oc
+    "  \"typed_fuzzer\": {\"cases\": %d, \"typed_lint_clean\": %d, \
+     \"env_agree\": %d, \"legal_agree\": %d, \"unknown\": %d, \
+     \"survivors_typed\": %d, \"dirty_rejected\": %d, \"disagreements\": %d},\n"
+    tr.Sanitizer.tt_total tr.tt_typed_lint_clean tr.tt_env_agree tr.tt_legal_agree
+    tr.tt_unknown tr.tt_survivors_typed tr.tt_dirty_rejected
+    (List.length tr.Sanitizer.tt_disagreements);
   (* The serial run's observability report: per-phase time breakdown and
      the full counter set, as rendered by Report.to_json. *)
   Printf.fprintf oc "  \"observability\": %s\n"

@@ -142,11 +142,29 @@ let analyze_arg =
 
 let plan_arg =
   let doc =
-    "With --analyze: analyze this explicit transformation plan per site \
-     instead of the standard sequence menu.  Steps separated by ';', e.g. \
-     'split@1:2;interchange@1,2;unroll@5:4'."
+    "With --analyze or --typecheck: analyze (or type-check) this explicit \
+     transformation plan per site instead of the standard sequence menu.  \
+     Steps separated by ';', e.g. 'split@1:2;interchange@1,2;unroll@5:4'."
   in
   Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"SPEC" ~doc)
+
+let typecheck_arg =
+  let doc =
+    "With --plan: do not search — type-check the plan against every \
+     distinct site shape of the network, printing the abstract schedule \
+     environment after each step.  Exits 1 when the plan is ill-typed \
+     anywhere, naming the violated typing rule."
+  in
+  Arg.(value & flag & info [ "typecheck" ] ~doc)
+
+let strategy_arg =
+  let doc =
+    "Candidate-generation strategy: $(b,random) (the historical \
+     rejection-sampled pool), $(b,typed) (well-typed-by-construction \
+     candidates from the rule-inverted menus) or $(b,guided) (beam search \
+     over the Pareto front of typed candidates)."
+  in
+  Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"NAME" ~doc)
 
 (* Probe a log/checkpoint destination before the search spends minutes of
    work: an unwritable path must be a usage error (exit 2) up front, not a
@@ -202,20 +220,93 @@ let analyze_model ppf model plan_spec =
     (List.length reports) (List.length errors) unknown;
   if errors <> [] then exit 1
 
+(* The --plan --typecheck mode: replay the typing judgment step by step
+   against each distinct site shape, so an ill-typed plan names both the
+   violated rule and the exact abstract state it was rejected in. *)
+let typecheck_model ppf model plan_spec =
+  let steps =
+    match Plan_lint.of_string plan_spec with
+    | Ok steps -> steps
+    | Error msg -> die "--plan: %s" msg
+  in
+  let seen = Hashtbl.create 8 in
+  let failed = ref false in
+  let subjects = ref 0 in
+  Array.iter
+    (fun site ->
+      let nest = Static_check.nest_of_site site in
+      let env0 = Plan_types.env_of_nest nest in
+      let key = Format.asprintf "%a" Plan_types.pp env0 in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr subjects;
+        Format.fprintf ppf "@[<v2>%s:@,start        %a@]@."
+          site.Conv_impl.site_label Plan_types.pp env0;
+        let rec go env = function
+          | [] -> (
+              (* Per-step rules passed; close with T-Legal on the final
+                 environment. *)
+              match
+                Plan_types.check ~deps:Static_check.conv_dependences env0 steps
+              with
+              | Ok _ -> Format.fprintf ppf "  well-typed@."
+              | Error diags ->
+                  failed := true;
+                  Format.fprintf ppf "  ill-typed: violates T-Legal@.";
+                  List.iter
+                    (fun d -> Format.fprintf ppf "    %a@." Diagnostic.pp d)
+                    diags)
+          | step :: rest -> (
+              match Plan_types.infer env step with
+              | Ok env' ->
+                  Format.fprintf ppf "  %-12s %a@." (Plan_lint.to_string step)
+                    Plan_types.pp env';
+                  go env' rest
+              | Error diags ->
+                  failed := true;
+                  Format.fprintf ppf "  %-12s ill-typed: violates %s@."
+                    (Plan_lint.to_string step)
+                    (Plan_types.rule_name step);
+                  List.iter
+                    (fun d -> Format.fprintf ppf "    %a@." Diagnostic.pp d)
+                    diags)
+        in
+        go env0 steps
+      end)
+    model.Models.sites;
+  Format.fprintf ppf "type-checked %d distinct site shapes: %s@." !subjects
+    (if !failed then "ill-typed" else "well-typed");
+  if !failed then exit 1
+
 let search_cmd =
   let run network device candidates seed resilient fault_rate fault_seed checkpoint
       checkpoint_every budget workers schedule cache_cap trace metrics static_filter
-      analyze plan =
+      analyze plan typecheck strategy =
+    let strategy =
+      match Strategy.of_string strategy with
+      | Some t -> t
+      | None ->
+          die "--strategy must be one of %s (got %s)" Strategy.names_doc strategy
+    in
     let rng = Rng.create seed in
     let model = Models.build (config_of_name network) rng in
     let dev = device_of_name device in
-    if analyze then begin
+    if typecheck then begin
+      if analyze then die "--typecheck and --analyze are mutually exclusive";
+      match plan with
+      | None -> die "--typecheck requires --plan"
+      | Some spec ->
+          Format.fprintf ppf "plan typing: %s for %s@." model.Models.name
+            dev.Device.dev_name;
+          typecheck_model ppf model spec
+    end
+    else if analyze then begin
       Format.fprintf ppf "static analysis: %s for %s@." model.Models.name
         dev.Device.dev_name;
       analyze_model ppf model plan
     end
     else begin
-    if plan <> None then die "--plan requires --analyze";
+    if plan <> None then die "--plan requires --analyze or --typecheck";
     let probe = Exp_common.probe_batch (Rng.split rng) ~input_size:model.Models.input_size in
     if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
       die "--fault-rate must be a probability in [0,1] (got %g)" fault_rate;
@@ -244,10 +335,12 @@ let search_cmd =
     if Fault.enabled fault then
       Format.fprintf ppf "fault injection: rate %.0f%% per oracle per candidate@."
         (100.0 *. fault_rate);
+    if strategy <> Strategy.Random then
+      Format.fprintf ppf "strategy:  %s@." (Strategy.to_string strategy);
     let r =
       Unified_search.search ~candidates ~static_filter ~fault ?budget ?checkpoint
-        ~checkpoint_every ~workers ~schedule ~ctx ~rng:(Rng.split rng) ~device:dev
-        ~probe model
+        ~checkpoint_every ~workers ~schedule ~strategy ~ctx ~rng:(Rng.split rng)
+        ~device:dev ~probe model
     in
     (match r.Unified_search.r_checkpoint_error with
     | Some e ->
@@ -312,7 +405,7 @@ let search_cmd =
           $ resilient_arg $ fault_rate_arg $ fault_seed_arg $ checkpoint_arg
           $ checkpoint_every_arg $ budget_arg $ workers_arg $ schedule_arg
           $ cache_cap_arg $ trace_arg $ metrics_arg $ static_filter_arg $ analyze_arg
-          $ plan_arg)
+          $ plan_arg $ typecheck_arg $ strategy_arg)
 
 let nas_cmd =
   let run network device candidates seed =

@@ -96,6 +96,16 @@ let schedule_arg =
         Parallel_eval.Dynamic
     & info [ "schedule" ] ~docv:"SCHED" ~doc)
 
+let strategy_arg =
+  let doc =
+    "Default candidate-generation strategy for requests that do not name \
+     one: $(b,random) (historical rejection-sampled pool), $(b,typed) \
+     (well-typed-by-construction candidates) or $(b,guided) (beam search \
+     over the Pareto front of typed candidates).  A request's \
+     $(b,strategy) field overrides this."
+  in
+  Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
 let smoke_arg =
   let doc =
     "Do not serve stdio: boot an in-process server, push concurrent \
@@ -107,7 +117,12 @@ let smoke_arg =
 
 let config_of workers max_queue deadline_ms cache_file cache_save_every fault_rate
     fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-    max_candidates schedule =
+    max_candidates schedule strategy =
+  let strategy =
+    match Strategy.of_string strategy with
+    | Some t -> t
+    | None -> die "--strategy must be one of %s (got %s)" Strategy.names_doc strategy
+  in
   if workers <= 0 then die "--workers must be positive (got %d)" workers;
   if max_queue < 0 then die "--max-queue must be >= 0 (got %d)" max_queue;
   Option.iter
@@ -147,7 +162,8 @@ let config_of workers max_queue deadline_ms cache_file cache_save_every fault_ra
        else Fault.make ~targets:[ Fault.Plan_gen ] ~seed:fault_seed ~rate:fault_rate ());
     cf_trace_dir = trace_dir;
     cf_max_candidates = max_candidates;
-    cf_schedule = schedule }
+    cf_schedule = schedule;
+    cf_strategy = strategy }
 
 (* --- stdio serving ------------------------------------------------------ *)
 
@@ -330,11 +346,11 @@ let smoke () =
 let () =
   let run workers max_queue deadline_ms cache_file cache_save_every fault_rate
       fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-      max_candidates schedule do_smoke =
+      max_candidates schedule strategy do_smoke =
     let config =
       config_of workers max_queue deadline_ms cache_file cache_save_every fault_rate
         fault_seed retries backoff_ms breaker_threshold breaker_cooldown_ms trace_dir
-        max_candidates schedule
+        max_candidates schedule strategy
     in
     if do_smoke then smoke () else serve_stdio config
   in
@@ -342,7 +358,8 @@ let () =
     Term.(const run $ workers_arg $ max_queue_arg $ deadline_arg $ cache_file_arg
           $ cache_save_every_arg $ fault_rate_arg $ fault_seed_arg $ retries_arg
           $ backoff_ms_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-          $ trace_dir_arg $ max_candidates_arg $ schedule_arg $ smoke_arg)
+          $ trace_dir_arg $ max_candidates_arg $ schedule_arg $ strategy_arg
+          $ smoke_arg)
   in
   let info =
     Cmd.info "nas_serve"

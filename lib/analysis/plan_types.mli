@@ -1,0 +1,110 @@
+(** A static type system for the plan language.
+
+    Assigns every {!Plan_lint.step} a typing rule over an abstract
+    schedule state: the iteration domain (channel extents, kept current
+    across neural transformations) plus the mixed-radix digit structure
+    of every loop — exactly the part of a {!Poly.t} that decides whether
+    a step is applicable, with the per-loop annotations erased.
+
+    The judgment is {e strict}: a step is well-typed iff {!Plan_lint.lint}
+    would record {e nothing} for it — no error (the step would be rejected
+    or raise {!Poly.Illegal}) and no warning (the step would apply but be a
+    no-op).  This gives an exact characterization in both directions:
+
+    - soundness — [check env steps = Ok _] implies [Plan_lint.lint]
+      applies the whole plan and reports zero diagnostics;
+    - completeness — a plan that lints clean is well-typed.
+
+    Both directions are fuzzed continuously by {!Sanitizer.run_typed} and
+    pinned exhaustively at small sizes by the test-suite.  Inverting the
+    rules yields a generator ({!choices}, {!enumerate}, {!sample_plan})
+    that emits only well-typed plans by construction — no rejection
+    sampling. *)
+
+type env = {
+  te_domain : (string * int) list;
+      (** iterator extents — the channel/shape state; neural steps
+          ([bottleneck]) shrink these *)
+  te_loops : Poly.digit list list;
+      (** one digit list per loop, outermost first; weight-1 single-digit
+          loops are plain iterators, multi-digit loops are fused, shared
+          digits come from grouping *)
+}
+
+val env_of_schedule : Poly.t -> env
+(** Abstract a schedule: keep domain and digits, erase annotations. *)
+
+val env_of_nest : Loop_nest.conv_nest -> env
+(** The typing environment of a nest's baseline schedule. *)
+
+val schedule_of_env : env -> Poly.t
+(** Concretize an environment back into a schedule with default
+    annotations and an empty neural log ([env_of_schedule] is its left
+    inverse). *)
+
+val loop_count : env -> int
+(** Number of loops in the abstract schedule. *)
+
+val loop_extent : Poly.digit list -> int
+(** Trip count of one abstract loop (product of its digit extents). *)
+
+val equal : env -> env -> bool
+(** Structural equality of environments. *)
+
+val rule_name : Plan_lint.step -> string
+(** The typing rule governing a step ([T-Split], [T-Group], ...), used to
+    name the violated rule in diagnostics and in the CLI's [--typecheck]
+    output. *)
+
+val pp : Format.formatter -> env -> unit
+(** One-line rendering: the domain, a turnstile, then each loop as
+    [digits[extent]]. *)
+
+val infer : env -> Plan_lint.step -> (env, Diagnostic.t list) result
+(** One-step judgment: [Ok env'] with the successor state when the step
+    is well-typed, [Error diags] naming the violated rule otherwise.  The
+    successor mirrors {!Plan_lint.apply} exactly:
+    [infer (env_of_schedule s) step = Ok (env_of_schedule (apply s step))]
+    whenever the step is well-typed (fuzzed by {!Sanitizer.run_typed}). *)
+
+val check :
+  ?deps:Poly_legality.dependence list ->
+  env ->
+  Plan_lint.step list ->
+  (env, Diagnostic.t list) result
+(** Fold {!infer} over a plan, stopping at the first ill-typed step.
+    With [?deps], additionally require the final schedule to preserve the
+    dependences (rule [T-Legal], decided by {!Direction.check}); an
+    [Unknown] direction verdict is conservatively rejected with code
+    ["legality-unknown"]. *)
+
+val divisors_gt1 : int -> int list
+(** Divisors of [e] greater than 1, ascending — the inverted image of
+    every divisibility side condition. *)
+
+val choices : env -> Plan_lint.step list
+(** Every well-typed step at [env], by rule inversion: factors range over
+    divisor sets, dimensions over the loop range, iterators over the
+    domain.  Complete — a step is well-typed iff it is in [choices env]
+    (up to the argument bounds that make the set finite: unroll factors
+    never exceed the loop extent).  Beware: contains all non-identity
+    permutations for [Reorder], so it is factorial in the loop count —
+    meant for small environments (tests, enumeration); use
+    {!sample_step} for generation. *)
+
+val enumerate : max_len:int -> env -> Plan_lint.step list list
+(** All well-typed plans of length 1..[max_len], by depth-first expansion
+    of {!choices} — exactly the plans that lint clean over the same
+    bounded argument universe (the exhaustiveness test pins this). *)
+
+val sample_step : Rng.t -> env -> Plan_lint.step option
+(** One uniformly-kinded well-typed step: draw a step kind among those
+    with at least one well-typed instantiation, then arguments within the
+    kind (permutations are sampled, not materialized).  [None] only for
+    environments admitting no step at all. *)
+
+val sample_plan :
+  Rng.t -> max_len:int -> env -> Plan_lint.step list * env
+(** A random well-typed plan of length 1..[max_len] (shorter only if some
+    intermediate env admits no step), with its final environment.  Every
+    prefix is well-typed by construction. *)

@@ -157,6 +157,136 @@ let run ?max_points ~seed ~n () =
     rs_static_time = !static_time;
     rs_oracle_time = !oracle_time }
 
+(* --- typed-vs-oracle differential fuzzer ------------------------------- *)
+
+type typed_case = {
+  tp_index : int;
+  tp_plan : string;
+  tp_kind : string;
+  tp_detail : string;
+}
+
+type typed_report = {
+  tt_total : int;
+  tt_typed_lint_clean : int;
+  tt_env_agree : int;
+  tt_legal_agree : int;
+  tt_unknown : int;
+  tt_survivors_typed : int;
+  tt_dirty_rejected : int;
+  tt_disagreements : typed_case list;
+}
+
+let typed_unknown_rate r =
+  if r.tt_total = 0 then 0.0 else float_of_int r.tt_unknown /. float_of_int r.tt_total
+
+let typed_passed ?(max_unknown_rate = 0.2) r =
+  r.tt_disagreements = [] && typed_unknown_rate r < max_unknown_rate
+
+(* Each case fuzzes both directions of the typing judgment's exactness:
+   a plan emitted by the typed generator must lint clean, predict the
+   applied schedule's abstraction digit-for-digit and agree with the
+   sampling oracle whenever [T-Legal] is decisive; a rejection-sampled
+   random plan must be well-typed exactly when its lint is clean (zero
+   diagnostics). *)
+let run_typed ?max_points ~seed ~n () =
+  let rng = Rng.create seed in
+  let clean = ref 0 and env_agree = ref 0 and legal_agree = ref 0 in
+  let unknown = ref 0 and survivors = ref 0 and dirty = ref 0 in
+  let disagreements = ref [] in
+  let fail i steps kind fmt =
+    Printf.ksprintf
+      (fun detail ->
+        disagreements :=
+          { tp_index = i;
+            tp_plan = Plan_lint.plan_to_string steps;
+            tp_kind = kind;
+            tp_detail = detail }
+          :: !disagreements)
+      fmt
+  in
+  let oracle s deps =
+    match max_points with
+    | Some m -> Poly_legality.check ~max_points:m s deps
+    | None -> Poly_legality.check s deps
+  in
+  for i = 0 to n - 1 do
+    let case_rng = Rng.split rng in
+    let nest = random_nest case_rng in
+    let base = Loop_nest.baseline_schedule nest in
+    let env0 = Plan_types.env_of_schedule base in
+    (* Direction 1: well-typed by construction ⇒ lints clean, abstracts
+       the applied schedule exactly, and [T-Legal] agrees with the
+       oracle. *)
+    let steps, env_t = Plan_types.sample_plan case_rng ~max_len:4 env0 in
+    (match Plan_lint.lint base steps with
+    | Some s, [] ->
+        incr clean;
+        if Plan_types.equal (Plan_types.env_of_schedule s) env_t then incr env_agree
+        else fail i steps "env-mismatch" "predicted env diverges from the applied schedule";
+        let deps = random_deps case_rng in
+        let legal = oracle s deps in
+        (match Plan_types.check ~deps env0 steps with
+        | Ok _ ->
+            if legal then incr legal_agree
+            else fail i steps "legal-but-oracle-illegal" "T-Legal accepted an oracle-illegal plan"
+        | Error ds -> (
+            match ds with
+            | { Diagnostic.d_code = "legality-unknown"; _ } :: _ -> incr unknown
+            | { Diagnostic.d_code = "illegal-dependence"; _ } :: _ ->
+                if legal then
+                  fail i steps "illegal-but-oracle-legal" "T-Legal rejected an oracle-legal plan"
+                else incr legal_agree
+            | _ ->
+                fail i steps "typed-plan-rejected" "the generator emitted an ill-typed plan"))
+    | _, diags ->
+        fail i steps "typed-but-lint-dirty" "lint found: %s"
+          (String.concat "; " (List.map (fun d -> d.Diagnostic.d_msg) diags)));
+    (* Direction 2: rejection-sampled plans are well-typed exactly when
+       their lint is clean. *)
+    let s_r, steps_r = random_plan case_rng base in
+    (match (Plan_lint.lint base steps_r, Plan_types.check env0 steps_r) with
+    | (Some s, []), Ok env ->
+        if Plan_types.equal (Plan_types.env_of_schedule s) env then begin
+          incr survivors;
+          ignore s_r
+        end
+        else fail i steps_r "env-mismatch" "survivor env diverges from the applied schedule"
+    | (Some _, []), Error ds ->
+        fail i steps_r "survivor-ill-typed" "clean survivor rejected: %s"
+          (match ds with d :: _ -> d.Diagnostic.d_msg | [] -> "")
+    | (_, _ :: _), Error _ -> incr dirty
+    | (_, diags), Ok _ ->
+        fail i steps_r "dirty-but-well-typed" "lint found %d diagnostics yet the plan typed"
+          (List.length diags)
+    | (None, []), _ ->
+        (* unreachable: lint only aborts with an error diagnostic *)
+        fail i steps_r "lint-aborted-silently" "lint returned no schedule and no diagnostics")
+  done;
+  { tt_total = n;
+    tt_typed_lint_clean = !clean;
+    tt_env_agree = !env_agree;
+    tt_legal_agree = !legal_agree;
+    tt_unknown = !unknown;
+    tt_survivors_typed = !survivors;
+    tt_dirty_rejected = !dirty;
+    tt_disagreements = List.rev !disagreements }
+
+let pp_typed_report ppf r =
+  Format.fprintf ppf
+    "@[<v>typecheck-fuzz: %d cases · %d typed-lint-clean · %d env-agree · %d \
+     legal-agree · %d unknown (%.1f%%) · %d survivors-typed · %d dirty-rejected \
+     · %d disagreements@]"
+    r.tt_total r.tt_typed_lint_clean r.tt_env_agree r.tt_legal_agree r.tt_unknown
+    (100.0 *. typed_unknown_rate r)
+    r.tt_survivors_typed r.tt_dirty_rejected
+    (List.length r.tt_disagreements);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,DISAGREEMENT #%d [%s] plan=[%s]: %s" c.tp_index c.tp_kind
+        c.tp_plan c.tp_detail)
+    r.tt_disagreements
+
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>sanitizer: %d plans · %d agree-legal · %d agree-illegal · %d unknown \

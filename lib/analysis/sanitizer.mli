@@ -38,3 +38,46 @@ val passed : ?max_unknown_rate:float -> report -> bool
 
 val pp_report : Format.formatter -> report -> unit
 (** Summary line plus one replayable line per disagreement. *)
+
+(** {1 Typed-vs-oracle differential fuzzer}
+
+    Fuzzes both directions of {!Plan_types}'s exactness contract on the
+    same seeded corpus of random convolution nests: a plan emitted by the
+    typed generator must lint clean ({!Plan_lint.lint} applies it with
+    zero diagnostics), must predict the applied schedule's abstraction
+    digit-for-digit, and its [T-Legal] verdict must agree with the
+    sampling oracle {!Poly_legality.check}; conversely a rejection-sampled
+    random plan must be well-typed exactly when its lint is clean.  The CI
+    gate ({!typed_passed}): zero disagreements, [Unknown] rate below
+    20%. *)
+
+type typed_case = {
+  tp_index : int;  (** corpus position, for replay *)
+  tp_plan : string;  (** the plan, in {!Plan_lint.of_string} syntax *)
+  tp_kind : string;  (** which exactness direction broke *)
+  tp_detail : string;  (** human-readable evidence *)
+}
+
+type typed_report = {
+  tt_total : int;  (** corpus cases (each fuzzes one typed + one random plan) *)
+  tt_typed_lint_clean : int;  (** typed-generated plans that linted clean *)
+  tt_env_agree : int;  (** typed plans whose predicted env matched the schedule *)
+  tt_legal_agree : int;  (** decisive [T-Legal] verdicts agreeing with the oracle *)
+  tt_unknown : int;  (** [T-Legal] undecided (direction analysis [Unknown]) *)
+  tt_survivors_typed : int;  (** lint-clean random plans that typed *)
+  tt_dirty_rejected : int;  (** linted-dirty random plans correctly rejected *)
+  tt_disagreements : typed_case list;  (** exactness violations, in corpus order *)
+}
+
+val run_typed : ?max_points:int -> seed:int -> n:int -> unit -> typed_report
+(** Fuzz [n] seeded cases; [max_points] is forwarded to the oracle. *)
+
+val typed_unknown_rate : typed_report -> float
+(** Fraction of cases where [T-Legal] declined to decide. *)
+
+val typed_passed : ?max_unknown_rate:float -> typed_report -> bool
+(** The CI gate: no disagreements and {!typed_unknown_rate} below the
+    bound (default 0.2). *)
+
+val pp_typed_report : Format.formatter -> typed_report -> unit
+(** Summary line plus one replayable line per disagreement. *)

@@ -18,6 +18,7 @@ type hints = {
 }
 
 val no_hints : hints
+(** Both hints absent — the plain template without the §7.3 annotations. *)
 
 val default_schedule : Device.t -> Loop_nest.conv_nest -> Poly.t
 (** The fixed "TVM default schedule" template instantiated with middle-of-

@@ -8,7 +8,10 @@
 type t
 
 val create : Device.cache -> t
+(** A cold cache with the given geometry (size, line, associativity). *)
+
 val reset : t -> unit
+(** Empties every set and zeroes the counters (back to the cold state). *)
 
 val access : t -> int -> bool
 (** [access t byte_address] touches one 4-byte element; returns [true] on a
@@ -21,6 +24,7 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Access/miss counters accumulated since {!create} or the last {!reset}. *)
 
 val simulate_program : Device.cache -> Loop_nest.program -> stats
 (** Replays the program's full access trace (output, weight and input

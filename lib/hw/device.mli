@@ -44,9 +44,20 @@ type t = {
 }
 
 val i7 : t
+(** The desktop CPU (Intel Core i7-6700K class): 4 wide-vector cores, a
+    three-level cache hierarchy — short name ["CPU"]. *)
+
 val gtx1080ti : t
+(** The desktop GPU (Nvidia GTX 1080 Ti): 28 SMs, high bandwidth, and a
+    per-kernel launch overhead — short name ["GPU"]. *)
+
 val arm_a57 : t
+(** The mobile CPU (ARM Cortex-A57): narrow vectors, small caches and
+    modest memory bandwidth — short name ["mCPU"]. *)
+
 val maxwell_mgpu : t
+(** The mobile GPU (Jetson Nano's 128-core Maxwell): one SM, shared DRAM,
+    launch overhead dominating small kernels — short name ["mGPU"]. *)
 
 val all : t list
 (** The four platforms, in the paper's (CPU, GPU, mCPU, mGPU) order. *)

@@ -19,7 +19,13 @@ type t = {
 }
 
 val bound_name : bound -> string
+(** ["compute"], ["memory"] or ["overhead"] (for reports and JSON keys). *)
 
 val analyze : Device.t -> Loop_nest.conv_nest -> Poly.t -> t
+(** Rooflines the scheduled nest on the device: intensity and ridge point
+    from the cost model's traffic analysis, bound classification from
+    their comparison (overhead-bound when dispatch/launch cost dominates
+    the predicted latency). *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line human-readable summary (bound class, intensity vs. ridge). *)

@@ -11,7 +11,10 @@
 type op = None_op | Skip | Conv1x1 | Conv3x3 | Avg_pool3
 
 val op_name : op -> string
+(** The benchmark's spelling, e.g. ["nor_conv_3x3"], ["skip_connect"]. *)
+
 val all_ops : op list
+(** The five operations in index order (the base-5 digit encoding). *)
 
 type cell = op array
 (** Length 6; edges in the order (0,1) (0,2) (1,2) (0,3) (1,3) (2,3). *)
@@ -20,9 +23,17 @@ val space_size : int
 (** 15625. *)
 
 val of_index : int -> cell
+(** The cell with that base-5 encoding, for indices in [0, {!space_size}). *)
+
 val to_index : cell -> int
+(** Inverse of {!of_index}. *)
+
 val random_cell : Rng.t -> cell
+(** A uniform draw from the whole cell space. *)
+
 val pp_cell : Format.formatter -> cell -> unit
+(** NAS-Bench-201 arch-string notation,
+    [|op~0|+|op~0|op~1|+|op~0|op~1|op~2|]. *)
 
 type net = {
   nb_graph : Graph.t;

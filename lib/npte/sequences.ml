@@ -45,6 +45,73 @@ let standard_menu site =
       Seq3 { g1 = 2; g2 = 4 }; Seq3 { g1 = 2; g2 = 8 }; Seq3 { g1 = 4; g2 = 8 };
       Spatial_bneck 2 ]
 
+(* Rule inversion: enumerate every parameterization each family admits on
+   this site straight from its divisor structure, instead of filtering a
+   fixed list through [valid].  Each generator mirrors one arm of
+   [Conv_impl.valid]; together they make [List.for_all (valid site)]
+   vacuous by construction (pinned by test and fuzzer). *)
+let divisors_gt1 n =
+  List.filter (fun d -> n mod d = 0) (List.init (max 0 (n - 1)) (fun i -> i + 2))
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let typed_menu (site : Conv_impl.site) =
+  let ci = site.Conv_impl.in_channels and co = site.Conv_impl.out_channels in
+  let g0 = site.Conv_impl.groups in
+  let so = Conv_impl.spatial_out site in
+  (* group factors: divide both channel counts, refine the baseline grouping *)
+  let group_factors =
+    List.filter (fun g -> g > g0) (divisors_gt1 (gcd ci co))
+  in
+  let groups = List.map (fun g -> Plain_group g) group_factors in
+  (* bottleneck factors: the narrowed mid-channel count must stay divisible
+     by (and at least) the baseline grouping, i.e. b divides co/g0 *)
+  let bottlenecks =
+    if co mod g0 = 0 then
+      List.map (fun b -> Plain_bottleneck b) (divisors_gt1 (co / g0))
+    else []
+  in
+  let depthwise =
+    if site.Conv_impl.kernel > 1 && g0 = 1 then [ Plain_depthwise ] else []
+  in
+  (* spatial bottleneck: the plane shrink must divide the output plane and
+     compose with the stride *)
+  let spatials =
+    List.filter_map
+      (fun b ->
+        if site.Conv_impl.spatial_in mod (site.Conv_impl.stride * b) = 0 then
+          Some (Spatial_bneck b)
+        else None)
+      (divisors_gt1 so)
+  in
+  (* hinted variants of the dominant sequences, over the same typed group
+     factors *)
+  let seq1s =
+    if so mod 2 = 0 then List.map (fun g -> Seq1 { g; split = 2 }) group_factors
+    else []
+  in
+  let seq2s = List.map (fun g -> Seq2 { g; unroll = 16 }) group_factors in
+  (* split-grouped: per-half factors divide the input channels and the
+     half output channels, and respect the baseline grouping *)
+  let seq3s =
+    if co mod 2 = 0 then begin
+      let half = co / 2 in
+      let gs =
+        List.filter
+          (fun g -> g >= g0)
+          (1 :: divisors_gt1 (gcd ci half))
+      in
+      List.concat_map
+        (fun g1 ->
+          List.filter_map
+            (fun g2 -> if g1 < g2 then Some (Seq3 { g1; g2 }) else None)
+            gs)
+        gs
+    end
+    else []
+  in
+  groups @ bottlenecks @ depthwise @ spatials @ seq1s @ seq2s @ seq3s
+
 let is_dominant = function
   | Seq1 _ | Seq2 _ | Seq3 _ -> true
   | Plain_group _ | Plain_bottleneck _ | Plain_depthwise | Spatial_bneck _ -> false

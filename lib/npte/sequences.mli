@@ -40,6 +40,16 @@ val standard_menu : Conv_impl.site -> t list
 (** Every named sequence, with its standard parameters (§7.3 uses g=2,
     unroll=16, g1=2/g2=4), filtered to those valid for the site. *)
 
+val typed_menu : Conv_impl.site -> t list
+(** The site's full typed choice space, by rule inversion: every factor a
+    family admits is enumerated directly from the site's divisor structure
+    (group factors over divisors of gcd(ci,co) refining the baseline
+    grouping, bottleneck factors over divisors of co/groups, spatial
+    shrinks over divisors of the output plane, split-grouped pairs over
+    per-half divisors), so every entry is valid by construction — no
+    rejection filtering.  Strictly contains the [valid] subset of
+    {!standard_menu}'s fixed parameterizations. *)
+
 val schedules : t -> Loop_nest.conv_nest -> Poly.t list
 (** The literal transformation chain applied to the nest's baseline
     schedule.  [Seq3] returns two schedules (one per output-channel half);

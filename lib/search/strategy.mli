@@ -1,0 +1,50 @@
+(** Candidate-generation strategies for {!Unified_search.search}.
+
+    [Random] is the historical default: rejection-sampled per-site coin
+    flips over {!Sequences.standard_menu}, filtered downstream by the
+    static/dynamic legality sweep and the Fisher gate.  [Typed] draws
+    candidates from the rule-inverted {!Sequences.typed_menu}, so every
+    generated plan is structurally valid by construction and mutation
+    counts stay mild.  [Guided] grows candidates beam-wise from the
+    Pareto front of already-evaluated survivors (see
+    {!Unified_search.search}), extending one typed site edit per round. *)
+
+type t =
+  | Random  (** historical rejection-sampled pool; bit-identical to pre-strategy runs *)
+  | Typed  (** well-typed-by-construction pool from the rule-inverted menus *)
+  | Guided  (** beam search over the Pareto front of typed candidates *)
+
+val all : t list
+(** Every strategy, in documentation order. *)
+
+val to_string : t -> string
+(** Wire/CLI name: ["random"], ["typed"] or ["guided"]. *)
+
+val of_string : string -> t option
+(** Parse a wire/CLI name (trimmed, case-insensitive); [None] when the
+    name is not one of {!names_doc}. *)
+
+val names_doc : string
+(** The accepted spellings, ["random|typed|guided"], for usage strings. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)
+
+val typed_site_plan : Rng.t -> Conv_impl.site -> Site_plan.t
+(** One uniform draw from the mild slice of the site's
+    {!Sequences.typed_menu} — entries whose compute reduction is at most
+    8x, the whole menu when none qualify, baseline when the menu is
+    empty.  Valid for the site by construction; the mildness cap keeps
+    generated candidates inside the clipped Fisher gate's tolerance. *)
+
+val typed_plans : Rng.t -> Models.t -> Site_plan.t array
+(** A typed candidate: every site redrawn with {!typed_site_plan} — a
+    coherent whole-network rewrite, valid at every site by construction.
+    Full coverage is deliberate: the clipped Fisher gate penalizes the
+    downstream perturbation of partially-mutated networks, so sparse
+    edits survive it far less often than whole rewrites. *)
+
+val extend_plans : Rng.t -> Models.t -> Site_plan.t array -> Site_plan.t array option
+(** One guided beam step: resample a uniformly-chosen site with a typed
+    draw, leaving the rest of the candidate intact — a local move in the
+    typed space.  [None] only for models without sites. *)

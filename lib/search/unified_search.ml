@@ -103,6 +103,14 @@ let generate_pool rng model ~candidates ~mutate_prob =
     @ List.init n_random (fun _ ->
           random_plans rng model ~mutate_prob:(draw_mutate_prob rng mutate_prob)))
 
+(* The typed pool keeps the directed seeds (they cover the uniform corners
+   both strategies need) and fills the rest with well-typed-by-construction
+   candidates instead of rejection-sampled coin flips. *)
+let typed_pool rng model ~candidates =
+  let seeds = uniform_candidates model in
+  let n_typed = max 0 (candidates - List.length seeds) in
+  Array.of_list (seeds @ List.init n_typed (fun _ -> Strategy.typed_plans rng model))
+
 (* Evaluate one candidate under guards and (optional) injected faults.
    [Some cand] = survivor, [None] = Fisher-rejected (a healthy outcome);
    every failure mode raises a structured {!Nas_error.Fail} for the
@@ -214,9 +222,9 @@ type ckpt_state = {
   ck_quarantine : (string * Nas_error.t) list;  (* newest first *)
 }
 
-let ckpt_key model device ~pool_size ~slack =
-  Printf.sprintf "%s|%s|%d|%g" model.Models.name device.Device.short_name pool_size
-    slack
+let ckpt_key strategy model device ~pool_size ~slack =
+  Printf.sprintf "%s|%s|%s|%d|%g" (Strategy.to_string strategy) model.Models.name
+    device.Device.short_name pool_size slack
 
 let load_checkpoint path key =
   match Checkpoint.load ~path with
@@ -245,10 +253,133 @@ let snapshot_engine_counters ctx =
     Obs.set obs "engine.faults_injected" (Fault.injected (Eval_ctx.fault ctx))
   end
 
+(* --- guided beam search ------------------------------------------------- *)
+
+(* How many candidates a guided round evaluates, and how many Pareto-front
+   members seed the next round.  Small rounds keep the front fresh (later
+   rounds see more evaluated survivors); eight extensions per round keeps
+   a worker pool busy without outrunning the front. *)
+let guided_round_size = 8
+let guided_beam_width = 4
+
+(* Next guided round: extend the Pareto front of everything that survived
+   so far by one typed site edit each, then top the round up with fresh
+   mild typed candidates.  All RNG draws happen here on the main domain,
+   so the round sequence is a pure function of the evaluation outcomes —
+   deterministic for every worker count. *)
+let guided_next_round rng model ~seen ~survivors ~room =
+  let fresh plans =
+    let s = plans_signature plans in
+    if Hashtbl.mem seen s then false
+    else begin
+      Hashtbl.add seen s ();
+      true
+    end
+  in
+  let points =
+    List.mapi
+      (fun j c ->
+        { Pareto.pt_name = string_of_int j;
+          pt_latency_s = c.cd_latency_s;
+          pt_accuracy = c.cd_fisher })
+      survivors
+  in
+  let front = Pareto.front points in
+  let beam =
+    List.filteri (fun k _ -> k < guided_beam_width) front
+    |> List.map (fun (p : Pareto.point) ->
+           (List.nth survivors (int_of_string p.Pareto.pt_name)).cd_plans)
+  in
+  let extensions =
+    List.concat_map
+      (fun plans ->
+        List.filter_map
+          (fun () ->
+            match Strategy.extend_plans rng model plans with
+            | Some next when fresh next -> Some next
+            | Some _ | None -> None)
+          [ (); () ])
+      beam
+  in
+  let target = min room guided_round_size in
+  let rec top_up acc need attempts =
+    if need <= 0 || attempts <= 0 then List.rev acc
+    else
+      let plans = Strategy.typed_plans rng model in
+      if fresh plans then top_up (plans :: acc) (need - 1) (attempts - 1)
+      else top_up acc need (attempts - 1)
+  in
+  let extensions = List.filteri (fun k _ -> k < target) extensions in
+  extensions @ top_up [] (target - List.length extensions) (8 * target)
+
+(* The guided evaluation loop.  Rounds alternate generation (main domain,
+   RNG-ordered) with evaluation (serial or parallel; outcomes merge in
+   index order), so the result is deterministic for every worker count.
+   Checkpointing is not supported — the round state is cheap to recompute
+   and a guided run is budget-capped anyway. *)
+let guided_run ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe ~prepared
+    ~stop ~workers ~schedule ~on_sched_stats ~rng ~limit model =
+  let explored = ref 0 in
+  let rejected = ref 0 in
+  let processed = ref 0 in
+  let best = ref None in
+  let quarantine_rev = ref [] in
+  let survivors_rev = ref [] in
+  let skipped = ref false in
+  let seen = Hashtbl.create 64 in
+  let seeds = uniform_candidates model in
+  List.iter (fun plans -> Hashtbl.replace seen (plans_signature plans) ()) seeds;
+  let round = ref (List.filteri (fun k _ -> k < limit) seeds) in
+  if !round = [] then
+    round := guided_next_round rng model ~seen ~survivors:[] ~room:limit;
+  while !round <> [] && !explored < limit && not !skipped do
+    let room = limit - !explored in
+    let arr = Array.of_list (List.filteri (fun k _ -> k < room) !round) in
+    let base = !explored in
+    let eval wctx i =
+      if stop () then O_skipped
+      else
+        eval_outcome ~ctx:wctx ~fault:(Eval_ctx.fault wctx) ~slack ~static_filter
+          ~oracle ~device ~probe ~prepared model (base + i) arr.(i)
+    in
+    let outcomes =
+      if workers <= 1 || Array.length arr <= 1 then
+        Array.mapi (fun i _ -> eval ctx i) arr
+      else
+        Parallel_eval.map_range ~schedule ?on_stats:on_sched_stats ~workers ~ctx
+          ~first:0 ~limit:(Array.length arr) eval
+    in
+    Array.iter
+      (function
+        | O_survivor cand ->
+            incr processed;
+            survivors_rev := cand :: !survivors_rev;
+            (match !best with
+            | Some b when b.cd_latency_s <= cand.cd_latency_s -> ()
+            | _ -> best := Some cand)
+        | O_rejected ->
+            incr processed;
+            incr rejected
+        | O_failed (label, e) ->
+            incr processed;
+            quarantine_rev := (label, e) :: !quarantine_rev
+        | O_skipped -> skipped := true)
+      outcomes;
+    explored := !explored + Array.length arr;
+    if !explored < limit && not !skipped then
+      round :=
+        guided_next_round rng model ~seen
+          ~survivors:(List.rev !survivors_rev)
+          ~room:(limit - !explored)
+    else round := []
+  done;
+  ignore fault;
+  (!best, !explored, !rejected, !quarantine_rev, !processed, !skipped)
+
 let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
     ?(static_filter = true) ?(stop = fun () -> false) ?fault ?budget ?checkpoint
     ?checkpoint_every ?(workers = 1) ?(schedule = Parallel_eval.Dynamic)
-    ?on_sched_stats ?ctx ~rng ~device ~probe model =
+    ?on_sched_stats ?(strategy = Strategy.Random) ?ctx ~rng ~device ~probe model =
   let start = Unix.gettimeofday () in
   (* Resolve the context: explicit knob arguments override the context's,
      which override the defaults. *)
@@ -276,11 +407,45 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
   let oracle, pool =
     Obs.with_span obs "generate" (fun () ->
         let oracle = make_oracle rng model probe in
-        (oracle, generate_pool rng model ~candidates ~mutate_prob))
+        let pool =
+          match strategy with
+          | Strategy.Random -> generate_pool rng model ~candidates ~mutate_prob
+          | Strategy.Typed -> typed_pool rng model ~candidates
+          | Strategy.Guided -> [||] (* rounds are generated during evaluation *)
+        in
+        (oracle, pool))
   in
   let baseline_fisher = oracle.fo_reference.Fisher.total in
+  if strategy = Strategy.Guided then begin
+    let limit = match budget with Some b -> min candidates b | None -> candidates in
+    let best, explored, rejected, quarantine_rev, processed, skipped =
+      Obs.with_span obs "evaluate" (fun () ->
+          guided_run ~ctx ~fault ~slack ~static_filter ~oracle ~device ~probe
+            ~prepared ~stop ~workers ~schedule ~on_sched_stats ~rng ~limit model)
+    in
+    Obs.set obs "search.generated" explored;
+    Obs.set obs "search.resumed" 0;
+    let best_cand =
+      Obs.with_span obs "select" (fun () ->
+          match best with
+          | Some b -> b
+          | None -> fallback_candidate model baseline baseline_fisher)
+    in
+    snapshot_engine_counters ctx;
+    { r_best = best_cand;
+      r_baseline = baseline;
+      r_baseline_fisher = baseline_fisher;
+      r_explored = explored;
+      r_rejected = rejected;
+      r_quarantined = sort_quarantine quarantine_rev;
+      r_evaluated = processed;
+      r_complete = not skipped;
+      r_checkpoint_error = None;
+      r_wall_s = Unix.gettimeofday () -. start }
+  end
+  else begin
   let n = Array.length pool in
-  let key = ckpt_key model device ~pool_size:n ~slack in
+  let key = ckpt_key strategy model device ~pool_size:n ~slack in
   let resumed =
     match checkpoint with Some path -> load_checkpoint path key | None -> None
   in
@@ -398,6 +563,7 @@ let search ?(candidates = 1000) ?(mutate_prob = 0.25) ?(slack = 0.12)
     r_complete = (not stopped) && !first_skip = None;
     r_checkpoint_error = !checkpoint_error;
     r_wall_s = Unix.gettimeofday () -. start }
+  end
 
 let speedup r = r.r_baseline.Pipeline.ev_latency_s /. r.r_best.cd_latency_s
 

@@ -59,6 +59,7 @@ val search :
   ?workers:int ->
   ?schedule:Parallel_eval.schedule ->
   ?on_sched_stats:(Parallel_eval.run_stats -> unit) ->
+  ?strategy:Strategy.t ->
   ?ctx:Eval_ctx.t ->
   rng:Rng.t ->
   device:Device.t ->
@@ -122,7 +123,24 @@ val search :
     completion) and an existing compatible snapshot is resumed instead of
     restarting.  The candidate pool is regenerated deterministically from
     [rng], so a resumed search reproduces the uninterrupted run's best
-    candidate. *)
+    candidate.
+
+    [strategy] (default {!Strategy.Random}) picks the candidate
+    generator.  [Random] keeps the historical pool — directed seeds plus
+    rejection-sampled coin flips — bit-identical to runs predating this
+    argument for any [workers] count or [schedule] (asserted by a test).
+    [Typed] keeps the seeds and fills the pool with
+    well-typed-by-construction candidates drawn from the rule-inverted
+    {!Sequences.typed_menu}; the pool is still deterministic in [rng], so
+    checkpointing and parallel evaluation behave exactly as for [Random].
+    [Guided] replaces the precomputed pool with beam rounds: directed
+    seeds first, then each round resamples one site of each Pareto-front
+    member (latency vs. Fisher, {!Pareto.front}) of the survivors so far,
+    topping up with fresh typed candidates; rounds stop at [candidates]
+    (or [budget]) cumulative evaluations.  Guided runs honor
+    [stop], [budget], [workers] and [schedule] (deterministic merge as
+    above) but ignore [checkpoint] — [r_checkpoint_error] is always
+    [None]. *)
 
 val speedup : result -> float
 (** Baseline latency over best-candidate latency. *)

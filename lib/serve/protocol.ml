@@ -169,11 +169,12 @@ type request = {
   rq_fault_rate : float;
   rq_fault_seed : int option;
   rq_workers : int;
+  rq_strategy : Strategy.t option;
 }
 
 let request ?(network = "resnet18") ?(device = "CPU") ?(candidates = 40)
     ?(seed = 42) ?mutate_prob ?budget ?deadline_ms ?(fault_rate = 0.0) ?fault_seed
-    ?(workers = 1) id =
+    ?(workers = 1) ?strategy id =
   { rq_id = id;
     rq_network = network;
     rq_device = device;
@@ -184,7 +185,8 @@ let request ?(network = "resnet18") ?(device = "CPU") ?(candidates = 40)
     rq_deadline_ms = deadline_ms;
     rq_fault_rate = fault_rate;
     rq_fault_seed = fault_seed;
-    rq_workers = workers }
+    rq_workers = workers;
+    rq_strategy = strategy }
 
 type msg = Search of request | Ping | Stats | Shutdown
 
@@ -213,7 +215,7 @@ let validated rq =
    ignored in favor of its default. *)
 let search_keys =
   [ "op"; "id"; "network"; "device"; "candidates"; "seed"; "mutate_prob";
-    "budget"; "deadline_ms"; "fault_rate"; "fault_seed"; "workers" ]
+    "budget"; "deadline_ms"; "fault_rate"; "fault_seed"; "workers"; "strategy" ]
 
 let parse line =
   match parse_flat_object line with
@@ -248,7 +250,16 @@ let parse line =
                       rq_fault_rate =
                         Option.value ~default:0.0 (num_field fields "fault_rate");
                       rq_fault_seed = int_field fields "fault_seed";
-                      rq_workers = get_i "workers" dflt.rq_workers }))
+                      rq_workers = get_i "workers" dflt.rq_workers;
+                      rq_strategy =
+                        (match str_field fields "strategy" with
+                        | None -> None
+                        | Some s -> (
+                            match Strategy.of_string s with
+                            | Some t -> Some t
+                            | None ->
+                                parse_error "unknown strategy %s (valid: %s)" s
+                                  Strategy.names_doc)) }))
           with Parse m -> Error m)
       | Some other -> Error (Printf.sprintf "unknown op %s" other)
       | None ->
@@ -292,6 +303,11 @@ let request_to_json rq =
     rq.rq_fault_seed;
   if rq.rq_workers <> 1 then
     Buffer.add_string b (Printf.sprintf ", \"workers\": %d" rq.rq_workers);
+  Option.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf ", \"strategy\": %s" (jstr (Strategy.to_string t))))
+    rq.rq_strategy;
   Buffer.add_string b "}";
   Buffer.contents b
 

@@ -31,6 +31,10 @@ type request = {
   rq_fault_rate : float;  (** search-level fault injection rate, [0,1] *)
   rq_fault_seed : int option;  (** fault draw seed (default: the seed) *)
   rq_workers : int;  (** evaluation domains inside this session *)
+  rq_strategy : Strategy.t option;
+      (** candidate-generation strategy; [None] defers to the server's
+          configured default, and parsing rejects names outside
+          {!Strategy.names_doc} *)
 }
 
 val request :
@@ -44,10 +48,12 @@ val request :
   ?fault_rate:float ->
   ?fault_seed:int ->
   ?workers:int ->
+  ?strategy:Strategy.t ->
   string ->
   request
 (** [request id] with defaults: resnet18 on CPU, 40 candidates, seed 42,
-    no budget, no deadline, no faults, 1 worker. *)
+    no budget, no deadline, no faults, 1 worker, the server's default
+    strategy. *)
 
 type msg =
   | Search of request  (** a search request (["op": "search"]) *)

@@ -15,6 +15,7 @@ type config = {
   cf_max_candidates : int;
   cf_max_session_workers : int;
   cf_schedule : Parallel_eval.schedule;
+  cf_strategy : Strategy.t;
 }
 
 let default_config =
@@ -33,7 +34,8 @@ let default_config =
     cf_trace_dir = None;
     cf_max_candidates = 512;
     cf_max_session_workers = 4;
-    cf_schedule = Parallel_eval.Dynamic }
+    cf_schedule = Parallel_eval.Dynamic;
+    cf_strategy = Strategy.Random }
 
 type job = {
   jb_req : Protocol.request;
@@ -160,7 +162,8 @@ let run_search_session t (rq : Protocol.request) ~deadline ~probe config device 
         ?mutate_prob:rq.rq_mutate_prob ?budget:rq.rq_budget
         ~stop:(fun () -> Deadline.expired deadline)
         ~workers:(min rq.rq_workers cfg.cf_max_session_workers)
-        ~schedule:cfg.cf_schedule ~ctx ~rng:(Rng.split rng) ~device ~probe model
+        ~schedule:cfg.cf_schedule
+        ~strategy:(Option.value rq.rq_strategy ~default:cfg.cf_strategy) ~ctx ~rng:(Rng.split rng) ~device ~probe model
     in
     let wall_ms = 1000.0 *. (t.sv_clock () -. wall0) in
     let cs = Eval_ctx.cost_stats ctx and fs = Eval_ctx.fisher_stats ctx in

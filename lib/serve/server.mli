@@ -39,12 +39,16 @@ type config = {
   cf_schedule : Parallel_eval.schedule;
       (** how multi-worker sessions assign candidates to their domains
           (results are bit-identical either way) *)
+  cf_strategy : Strategy.t;
+      (** candidate-generation strategy for requests that do not pick one
+          themselves (the request's [strategy] field wins) *)
 }
 
 val default_config : config
 (** 4 workers, queue 16, no default deadline, {!Retry.default}, breaker
     5/30s, storm fraction 0.5, no persistence, no faults, no traces,
-    candidate cap 512, session-worker cap 4, dynamic scheduling. *)
+    candidate cap 512, session-worker cap 4, dynamic scheduling, random
+    strategy. *)
 
 type t
 (** A running server (the worker domains are live). *)

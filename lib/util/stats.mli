@@ -19,7 +19,10 @@ val percentile : float array -> float -> float
 (** [percentile xs p] for p in [0,100], linear interpolation. *)
 
 val min : float array -> float
+(** Smallest element; raises on the empty array. *)
+
 val max : float array -> float
+(** Largest element; raises on the empty array. *)
 
 val pearson : float array -> float array -> float
 (** Pearson correlation coefficient of two equal-length arrays. *)

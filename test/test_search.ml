@@ -93,6 +93,118 @@ let t_blockswap_menu_excludes_sequences () =
         (Blockswap.menu site))
     model.Models.sites
 
+(* --- strategies --------------------------------------------------------- *)
+
+let result_fingerprint r =
+  ( Unified_search.plans_signature r.Unified_search.r_best.Unified_search.cd_plans,
+    r.Unified_search.r_best.Unified_search.cd_latency_s,
+    r.Unified_search.r_explored,
+    r.Unified_search.r_rejected,
+    List.map fst r.Unified_search.r_quarantined )
+
+let run_strategy ?strategy ~workers ~schedule ~candidates () =
+  let rng, model, probe = setup () in
+  Unified_search.search ?strategy ~candidates ~workers ~schedule
+    ~rng:(Rng.split rng) ~device:Device.i7 ~probe model
+
+let check_same_result msg a b =
+  let sa, la, ea, ra, qa = result_fingerprint a in
+  let sb, lb, eb, rb, qb = result_fingerprint b in
+  Alcotest.(check string) (msg ^ ": best plans") sa sb;
+  Alcotest.(check (float 0.0)) (msg ^ ": best latency (bit-identical)") la lb;
+  Alcotest.(check int) (msg ^ ": explored") ea eb;
+  Alcotest.(check int) (msg ^ ": rejected") ra rb;
+  Alcotest.(check (list string)) (msg ^ ": quarantine") qa qb
+
+let t_strategy_random_bit_identical () =
+  (* The contract behind Strategy.Random: passing it explicitly changes
+     nothing relative to the pre-strategy default, for any worker count or
+     schedule. *)
+  let reference =
+    run_strategy ~workers:1 ~schedule:Parallel_eval.Dynamic ~candidates:25 ()
+  in
+  List.iter
+    (fun (workers, schedule) ->
+      let r =
+        run_strategy ~strategy:Strategy.Random ~workers ~schedule
+          ~candidates:25 ()
+      in
+      check_same_result
+        (Printf.sprintf "workers=%d" workers)
+        reference r)
+    [ (1, Parallel_eval.Dynamic); (2, Parallel_eval.Static);
+      (2, Parallel_eval.Dynamic) ]
+
+let t_strategy_typed_parallel_identical () =
+  let serial =
+    run_strategy ~strategy:Strategy.Typed ~workers:1
+      ~schedule:Parallel_eval.Dynamic ~candidates:25 ()
+  in
+  List.iter
+    (fun schedule ->
+      let r =
+        run_strategy ~strategy:Strategy.Typed ~workers:2 ~schedule
+          ~candidates:25 ()
+      in
+      check_same_result "typed parallel" serial r)
+    [ Parallel_eval.Static; Parallel_eval.Dynamic ]
+
+let t_strategy_guided_parallel_identical () =
+  let serial =
+    run_strategy ~strategy:Strategy.Guided ~workers:1
+      ~schedule:Parallel_eval.Dynamic ~candidates:20 ()
+  in
+  Alcotest.(check bool) "guided run completes" true
+    serial.Unified_search.r_complete;
+  Alcotest.(check bool) "no checkpoint error" true
+    (serial.Unified_search.r_checkpoint_error = None);
+  List.iter
+    (fun schedule ->
+      let r =
+        run_strategy ~strategy:Strategy.Guided ~workers:2 ~schedule
+          ~candidates:20 ()
+      in
+      check_same_result "guided parallel" serial r)
+    [ Parallel_eval.Static; Parallel_eval.Dynamic ]
+
+let t_typed_menu_valid_by_construction () =
+  (* Rule inversion must be sound (every menu entry valid for its site)
+     and subsume the valid slice of the rejection-sampled menu. *)
+  let _, model, _ = setup () in
+  Array.iter
+    (fun site ->
+      let menu = Sequences.typed_menu site in
+      List.iter
+        (fun seq ->
+          Alcotest.(check bool)
+            (Printf.sprintf "site %d: %s valid" site.Conv_impl.site_index
+               (Sequences.name seq))
+            true (Sequences.valid site seq))
+        menu;
+      let names = List.map Sequences.name menu in
+      List.iter
+        (fun seq ->
+          if Sequences.valid site seq then
+            Alcotest.(check bool)
+              (Printf.sprintf "site %d: standard %s covered"
+                 site.Conv_impl.site_index (Sequences.name seq))
+              true
+              (List.mem (Sequences.name seq) names))
+        (Sequences.standard_menu site))
+    model.Models.sites
+
+let t_typed_plans_valid_by_construction () =
+  let _, model, _ = setup () in
+  let rng = Rng.create 99 in
+  for _ = 1 to 20 do
+    let plans = Strategy.typed_plans rng model in
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check bool) "typed plan valid" true
+          (Site_plan.valid model.Models.sites.(i) p))
+      plans
+  done
+
 (* --- Pareto ------------------------------------------------------------ *)
 
 let pt name l a = { Pareto.pt_name = name; pt_latency_s = l; pt_accuracy = a }
@@ -148,6 +260,12 @@ let () =
           quick "deterministic" t_unified_deterministic;
           quick "multi-device" t_unified_multi_matches_single_pool;
           quick "winner legality" t_winning_plans_are_legal ] );
+      ( "strategy",
+        [ quick "random bit-identical" t_strategy_random_bit_identical;
+          quick "typed parallel identical" t_strategy_typed_parallel_identical;
+          quick "guided parallel identical" t_strategy_guided_parallel_identical;
+          quick "typed menu valid" t_typed_menu_valid_by_construction;
+          quick "typed plans valid" t_typed_plans_valid_by_construction ] );
       ( "blockswap",
         [ quick "budget" t_blockswap_respects_budget;
           quick "menu restricted" t_blockswap_menu_excludes_sequences ] );
